@@ -1,0 +1,33 @@
+"""Ablation — distributed MIS election: rank cascade [10] vs Luby.
+
+The rank cascade is message-optimal (2n) but Theta(n) rounds on chains;
+Luby pays more messages for O(log n) expected rounds.  Both feed the
+same phase-2 machinery.
+"""
+
+from repro.distributed import build_bfs_tree, elect_mis
+from repro.distributed.luby import luby_mis
+from repro.graphs import Graph
+
+
+def chain(n):
+    return Graph(edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def test_rank_cascade_on_chain(benchmark):
+    g = chain(80)
+
+    def run():
+        tree, tree_metrics = build_bfs_tree(g, 0)
+        mis, metrics = elect_mis(g, tree)
+        return mis, tree_metrics.merge(metrics)
+
+    mis, metrics = benchmark(run)
+    assert metrics.transmissions <= 3 * len(g)
+    assert metrics.rounds >= len(g) / 2  # the cascade crawls the chain
+
+
+def test_luby_on_chain(benchmark):
+    g = chain(80)
+    mis, metrics = benchmark(luby_mis, g, 1)
+    assert metrics.rounds <= 30  # O(log n) phases in practice

@@ -1,0 +1,28 @@
+"""Ablation — post-pruning the two-phased outputs.
+
+Neither paper algorithm prunes; this measures how much slack greedy
+minimalization recovers, and what it costs.
+"""
+
+import pytest
+
+from repro.cds import greedy_connector_cds, prune_cds, waf_cds
+
+ALGORITHMS = {"waf": waf_cds, "greedy-connector": greedy_connector_cds}
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_pruning_cost(benchmark, name, udg60):
+    cds = ALGORITHMS[name](udg60)
+    pruned = benchmark(prune_cds, udg60, cds.nodes)
+    assert len(pruned) <= cds.size
+
+
+def test_pruning_gain_is_modest_for_greedy(udg60):
+    # The Section IV greedy leaves little on the table compared to WAF —
+    # the expected shape of this ablation.
+    waf = waf_cds(udg60)
+    greedy = greedy_connector_cds(udg60)
+    waf_slack = waf.size - len(prune_cds(udg60, waf.nodes))
+    greedy_slack = greedy.size - len(prune_cds(udg60, greedy.nodes))
+    assert greedy_slack <= waf_slack + 2

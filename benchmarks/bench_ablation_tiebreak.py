@@ -1,0 +1,31 @@
+"""Ablation — gain tie-breaking in the Section IV greedy.
+
+The paper specifies "maximum gain" but not how to resolve ties; this
+ablation compares min-id (library default), max-id and highest-degree
+tie-breaking on the same instance.
+"""
+
+import pytest
+
+from repro.cds import greedy_connector_cds
+
+TIE_BREAKS = ["min", "max", "degree"]
+
+
+@pytest.mark.parametrize("tie_break", TIE_BREAKS)
+def test_tiebreak_variants(benchmark, tie_break, udg60):
+    result = benchmark(greedy_connector_cds, udg60, None, tie_break)
+    assert result.is_valid(udg60)
+
+
+def test_tiebreaks_agree_on_size_within_slack(udg60):
+    sizes = {
+        tb: greedy_connector_cds(udg60, tie_break=tb).size for tb in TIE_BREAKS
+    }
+    # Tie-breaking is second-order: sizes differ by at most a few nodes.
+    assert max(sizes.values()) - min(sizes.values()) <= 3, sizes
+
+
+def test_invalid_tiebreak_rejected(udg20):
+    with pytest.raises(ValueError):
+        greedy_connector_cds(udg20, tie_break="coin-flip")

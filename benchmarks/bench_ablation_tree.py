@@ -1,0 +1,26 @@
+"""Ablation — the phase-1 spanning tree: BFS (per [10]) vs DFS.
+
+Section III allows an arbitrary rooted spanning tree; BFS trees keep
+tree depth equal to hop distance, which empirically yields fewer
+connectors than DFS trees (whose long spines inflate |I \\ I(s)|).
+"""
+
+import pytest
+
+from repro.cds import waf_cds
+
+KINDS = ["bfs", "dfs"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_waf_tree_kind(benchmark, kind, udg60):
+    result = benchmark(waf_cds, udg60, None, kind)
+    assert result.is_valid(udg60)
+
+
+def test_bfs_not_worse_than_dfs_on_average(udg60, udg150):
+    total = {"bfs": 0, "dfs": 0}
+    for g in (udg60, udg150):
+        for kind in KINDS:
+            total[kind] += waf_cds(g, tree_kind=kind).size
+    assert total["bfs"] <= total["dfs"] + 2

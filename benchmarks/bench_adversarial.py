@@ -1,0 +1,25 @@
+"""Bench ADV — adversarial ratio search cost and outcome shape."""
+
+from repro.analysis import adversarial_ratio_search
+from repro.cds import greedy_connector_cds, waf_cds
+from repro.cds.bounds import greedy_bound_this_paper, waf_bound_this_paper
+
+
+def test_search_waf(benchmark):
+    found = benchmark.pedantic(
+        lambda: adversarial_ratio_search(11, waf_cds, iterations=80, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert 1.0 < found.best_ratio <= float(waf_bound_this_paper(1))
+
+
+def test_search_greedy(benchmark):
+    found = benchmark.pedantic(
+        lambda: adversarial_ratio_search(
+            11, greedy_connector_cds, iterations=80, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 1.0 < found.best_ratio <= float(greedy_bound_this_paper(1))

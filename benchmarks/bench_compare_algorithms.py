@@ -1,0 +1,43 @@
+"""Bench CMP — the Sections III-IV comparison plus every baseline.
+
+Asserts the paper's motivating shape on the benchmark instance — the
+greedy-connector output is never larger than WAF's (same phase 1) —
+and times each algorithm on the same 60-node UDG.
+"""
+
+import pytest
+
+from repro.baselines import ALL_BASELINES
+from repro.cds import greedy_connector_cds, steiner_cds, waf_cds
+from repro.experiments import get_experiment
+
+OUR = {
+    "waf": waf_cds,
+    "greedy-connector": greedy_connector_cds,
+    "steiner": steiner_cds,
+}
+
+
+@pytest.mark.parametrize("name", list(OUR))
+def test_our_algorithms(benchmark, name, udg60):
+    result = benchmark(OUR[name], udg60)
+    assert result.is_valid(udg60)
+
+
+@pytest.mark.parametrize("name", list(ALL_BASELINES))
+def test_baselines(benchmark, name, udg60):
+    result = benchmark(ALL_BASELINES[name], udg60)
+    assert result.is_valid(udg60)
+
+
+def test_greedy_beats_waf_shape(udg60):
+    assert greedy_connector_cds(udg60).size <= waf_cds(udg60).size
+
+
+def test_cmp_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("CMP")(n=20, seeds=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

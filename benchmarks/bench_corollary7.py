@@ -1,0 +1,35 @@
+"""Bench C7 — Corollary 7: ``alpha <= 3 2/3 gamma_c + 1``.
+
+Times exact alpha and exact gamma_c on a 20-node UDG and asserts the
+corollary, then regenerates the C7 experiment table once.
+"""
+
+from repro.cds import connected_domination_number
+from repro.cds.bounds import alpha_bound_this_paper
+from repro.experiments import get_experiment
+from repro.mis import independence_number
+
+
+def test_exact_alpha(benchmark, udg20):
+    alpha = benchmark(independence_number, udg20)
+    assert alpha >= 1
+
+
+def test_exact_gamma_c(benchmark, udg20):
+    gamma_c = benchmark(connected_domination_number, udg20)
+    assert gamma_c >= 1
+
+
+def test_corollary7_holds(udg20):
+    alpha = independence_number(udg20)
+    gamma_c = connected_domination_number(udg20)
+    assert alpha <= float(alpha_bound_this_paper(gamma_c))
+
+
+def test_corollary7_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("C7")(sizes=(10, 14), seeds=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

@@ -1,0 +1,20 @@
+"""Extension bench — the d-hop CDS size curve.
+
+Backbone size as a function of the domination radius d: the trade
+between backbone overhead and access-path length.
+"""
+
+import pytest
+
+from repro.cds import d_hop_cds, is_d_hop_cds
+
+
+@pytest.mark.parametrize("d", [1, 2, 3])
+def test_dhop_construction(benchmark, d, udg60):
+    result = benchmark(d_hop_cds, udg60, d)
+    assert is_d_hop_cds(udg60, result.nodes, d)
+
+
+def test_size_curve_monotone(udg60):
+    sizes = {d: d_hop_cds(udg60, d).size for d in (1, 2, 3)}
+    assert sizes[1] >= sizes[2] >= sizes[3]

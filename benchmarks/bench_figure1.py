@@ -1,0 +1,17 @@
+"""Bench F1 — Figure 1 tightness constructions (8 in a 2-star
+neighborhood, 12 in a 3-star neighborhood)."""
+
+from repro.analysis import packing_count
+from repro.geometry import figure1_three_star, figure1_two_star, is_independent, phi
+
+
+def test_two_star_construction(benchmark):
+    centers, witness = benchmark(figure1_two_star)
+    assert is_independent(witness)
+    assert packing_count(witness, centers) == phi(2) == 8
+
+
+def test_three_star_construction(benchmark):
+    centers, witness = benchmark(figure1_three_star)
+    assert is_independent(witness)
+    assert packing_count(witness, centers) == phi(3) == 12

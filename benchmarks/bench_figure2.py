@@ -1,0 +1,14 @@
+"""Bench F2 — Figure 2: 3(n+1) independent points around n collinear
+unit-spaced points, for both parities and growing n."""
+
+import pytest
+
+from repro.analysis import packing_count
+from repro.geometry import figure2_linear, is_independent
+
+
+@pytest.mark.parametrize("n", [4, 9, 16, 33])
+def test_linear_construction(benchmark, n):
+    centers, witness = benchmark(figure2_linear, n)
+    assert is_independent(witness)
+    assert packing_count(witness, centers) == 3 * (n + 1)

@@ -1,0 +1,34 @@
+"""Bench L1 — Lemma 1: ``|I(o) Δ I(u)| <= 7`` for ``|ou| <= 1``."""
+
+import random
+
+from repro.analysis import symmetric_difference_count
+from repro.geometry import Point, disk_candidates, greedy_independent_subset
+
+
+def probe(trials: int) -> int:
+    rng = random.Random(1)
+    worst = 0
+    for _ in range(trials):
+        o = Point(0.0, 0.0)
+        u = Point(rng.uniform(0.05, 1.0), 0.0)
+        candidates = disk_candidates(o, 1.0, 0.3) + disk_candidates(u, 1.0, 0.3)
+        rng.shuffle(candidates)
+        packing = greedy_independent_subset(candidates, key=lambda q: 0.0)
+        worst = max(worst, symmetric_difference_count(packing, o, u))
+    return worst
+
+
+def test_lemma1_random_probes(benchmark):
+    worst = benchmark(probe, 6)
+    assert worst <= 7
+
+
+def test_lemma1_figure1_witness(benchmark):
+    from repro.geometry import figure1_two_star
+
+    (o, u1), witness = benchmark(figure1_two_star)
+    # The 2-star witness: I(o) and I(u1) overlap in exactly one point
+    # (one cap point lies within distance 1 of o), so the symmetric
+    # difference is 7 — Lemma 1 is tight.
+    assert symmetric_difference_count(witness, o, u1) <= 7

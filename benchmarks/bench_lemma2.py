@@ -1,0 +1,32 @@
+"""Bench L2 — Lemma 2: ``|(∪_j I(u_j)) \\ I(o)| <= 11`` under the
+private-point premise, probed with randomized maximal packings."""
+
+import random
+
+from repro.analysis import lemma2_quantity
+from repro.geometry import Point, disk_candidates, greedy_independent_subset
+
+
+def probe(trials: int) -> int:
+    rng = random.Random(2)
+    worst = 0
+    for _ in range(trials):
+        o = Point(0.0, 0.0)
+        others = [
+            Point.polar(rng.uniform(0.3, 1.0), rng.uniform(0.0, 6.283))
+            for _ in range(3)
+        ]
+        candidates = disk_candidates(o, 1.0, 0.3)
+        for u in others:
+            candidates.extend(disk_candidates(u, 1.0, 0.3))
+        rng.shuffle(candidates)
+        packing = greedy_independent_subset(candidates, key=lambda q: 0.0)
+        count, premise = lemma2_quantity(packing, o, others)
+        if premise:
+            worst = max(worst, count)
+    return worst
+
+
+def test_lemma2_random_probes(benchmark):
+    worst = benchmark(probe, 5)
+    assert worst <= 11

@@ -1,0 +1,73 @@
+"""Extension bench — dynamic maintenance: local repair vs full rebuild.
+
+Measures the cost of one churn event handled by local repair against a
+from-scratch reconstruction, and checks the repair's quality (slack
+stays small over a churn burst).
+"""
+
+import random
+
+from repro.cds import DynamicCDS, greedy_connector_cds
+from repro.geometry import Point
+from repro.graphs import random_connected_udg
+
+
+def make_dynamic(n=60, seed=4):
+    _, g = random_connected_udg(n, 5.8, seed=seed)
+    return DynamicCDS(g)
+
+
+def churn_burst(dynamic, events, seed=0):
+    rng = random.Random(seed)
+    done = 0
+    while done < events:
+        if rng.random() < 0.5 and len(dynamic.graph) > 10:
+            victim = rng.choice(sorted(dynamic.graph.nodes()))
+            try:
+                dynamic.remove_node(victim)
+                done += 1
+            except ValueError:
+                continue
+        else:
+            base = rng.choice(sorted(dynamic.graph.nodes()))
+            new = Point(base.x + rng.uniform(-0.8, 0.8), base.y + rng.uniform(-0.8, 0.8))
+            if new in dynamic.graph:
+                continue
+            in_range = [v for v in dynamic.graph.nodes() if v.distance_to(new) <= 1.0]
+            if not in_range:
+                continue
+            dynamic.add_node(new, in_range)
+            done += 1
+    return dynamic
+
+
+def test_local_repair_burst(benchmark):
+    def run():
+        dynamic = make_dynamic()
+        churn_burst(dynamic, events=20)
+        return dynamic
+
+    dynamic = benchmark(run)
+    assert dynamic.is_valid()
+
+
+def test_rebuild_per_event(benchmark):
+    # The naive alternative: rebuild from scratch after every event.
+    def run():
+        dynamic = make_dynamic()
+        rng = random.Random(0)
+        for _ in range(20):
+            churn_burst(dynamic, events=1, seed=rng.randint(0, 10**6))
+            dynamic.rebuild()
+        return dynamic
+
+    dynamic = benchmark(run)
+    assert dynamic.is_valid()
+
+
+def test_repair_quality_stays_close_to_fresh():
+    dynamic = make_dynamic()
+    churn_burst(dynamic, events=30)
+    assert dynamic.is_valid()
+    fresh = greedy_connector_cds(dynamic.graph).size
+    assert dynamic.size <= 2.0 * fresh + 2

@@ -1,0 +1,60 @@
+"""Scaling benchmarks: the full pipeline at realistic network sizes.
+
+The grid-bucketed UDG builder and the incremental gain tracker are
+what make the library usable beyond toy sizes; this bench times the
+construction pipeline (points → UDG → backbone) at n up to 2000 and
+asserts the outputs stay valid.
+"""
+
+import pytest
+
+from repro.cds import greedy_connector_cds, waf_cds
+from repro.graphs import (
+    is_connected,
+    largest_component_udg,
+    uniform_points,
+    unit_disk_graph,
+)
+
+SIZES = [200, 500, 1000, 2000]
+
+
+def _instance(n):
+    # Density chosen so the giant component is essentially everything.
+    side = (3.1416 * n / 9.0) ** 0.5
+    pts = uniform_points(n, side, seed=17)
+    kept, graph = largest_component_udg(pts)
+    assert len(graph) > 0.9 * n
+    return graph
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_udg_build_scaling(benchmark, n):
+    side = (3.1416 * n / 9.0) ** 0.5
+    pts = uniform_points(n, side, seed=17)
+    g = benchmark(unit_disk_graph, pts)
+    assert len(g) == n
+
+
+@pytest.mark.parametrize("n", [200, 500, 1000])
+def test_waf_scaling(benchmark, n):
+    g = _instance(n)
+    result = benchmark(waf_cds, g)
+    assert result.is_valid(g)
+
+
+@pytest.mark.parametrize("n", [200, 500, 1000])
+def test_greedy_scaling(benchmark, n):
+    g = _instance(n)
+    result = benchmark(greedy_connector_cds, g)
+    assert result.is_valid(g)
+
+
+def test_largest_instance_end_to_end():
+    g = _instance(2000)
+    assert is_connected(g)
+    waf = waf_cds(g)
+    greedy = greedy_connector_cds(g)
+    assert waf.is_valid(g)
+    assert greedy.is_valid(g)
+    assert greedy.size <= waf.size + 5

@@ -1,0 +1,17 @@
+"""Bench L4 — Lemma 4: nontrivial star decomposition of connected sets.
+
+Times the constructive decomposition on growing random connected sets
+and asserts the lemma's guarantee (no singleton stars).
+"""
+
+import pytest
+
+from repro.geometry import is_nontrivial_star_decomposition, star_decomposition
+from tests.geometry.test_stars import random_connected_points
+
+
+@pytest.mark.parametrize("n", [10, 25, 50])
+def test_star_decomposition_scaling(benchmark, n):
+    pts = random_connected_points(n, seed=n)
+    decomposition = benchmark(star_decomposition, pts)
+    assert is_nontrivial_star_decomposition(decomposition, pts)

@@ -1,0 +1,37 @@
+"""Bench T10 — Theorem 10: greedy-connector ratio <= 6 7/18.
+
+Also re-derives the C1/C2/C3 prefix decomposition on the benchmarked
+instance — the proof machinery, not just the headline size.
+"""
+
+from repro.analysis import prefix_decomposition
+from repro.cds import greedy_connector_cds
+from repro.cds.bounds import greedy_bound_this_paper
+from repro.experiments import get_experiment
+
+
+def test_greedy_small(benchmark, udg20, udg20_gamma):
+    result = benchmark(greedy_connector_cds, udg20)
+    assert result.is_valid(udg20)
+    assert result.size <= float(greedy_bound_this_paper(udg20_gamma))
+    decomposition = prefix_decomposition(result.meta["q_history"], udg20_gamma)
+    assert all(check.holds for check in decomposition.checks())
+
+
+def test_greedy_medium(benchmark, udg60):
+    result = benchmark(greedy_connector_cds, udg60)
+    assert result.is_valid(udg60)
+
+
+def test_greedy_large(benchmark, udg150):
+    result = benchmark(greedy_connector_cds, udg150)
+    assert result.is_valid(udg150)
+
+
+def test_theorem10_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("T10")(sizes=(12, 16), seeds=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

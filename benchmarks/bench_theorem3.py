@@ -1,0 +1,26 @@
+"""Bench T3 — Theorem 3: ``|I(S)| <= phi_n`` for n-stars.
+
+Regenerates the star-packing row set (experiment T3) and times the
+empirical packing search on a random 4-star.
+"""
+
+from repro.analysis import empirical_max_packing, packing_count
+from repro.experiments import get_experiment
+from repro.experiments.instances import random_star
+from repro.geometry import phi
+
+
+def test_star_packing_search(benchmark):
+    star = random_star(4, seed=0)
+
+    found = benchmark(empirical_max_packing, star, 0.25)
+    assert packing_count(found, star) <= phi(4)
+
+
+def test_theorem3_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("T3")(max_n=4, seeds_per_n=2, grid_step=0.3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

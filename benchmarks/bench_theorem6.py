@@ -1,0 +1,31 @@
+"""Bench T6 — Theorem 6: ``|I(V)| <= 11n/3 + 1`` for connected sets."""
+
+from repro.analysis import packing_count
+from repro.cds.bounds import neighborhood_bound
+from repro.experiments import get_experiment
+from repro.geometry import figure2_linear, star_decomposition
+
+
+def test_chain_packing_vs_bound(benchmark):
+    centers, witness = benchmark(figure2_linear, 8)
+    assert packing_count(witness, centers) == 27
+    assert 27 <= float(neighborhood_bound(8))
+
+
+def test_star_decomposition_on_chain(benchmark):
+    # The Lemma 4 machinery behind Theorem 6, on the worst-case family.
+    centers, _ = figure2_linear(10)
+    decomposition = benchmark(star_decomposition, centers)
+    assert sum(len(s) for s in decomposition) == 10
+    assert all(len(s) >= 2 for s in decomposition)
+
+
+def test_theorem6_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("T6")(
+            chain_sizes=(3, 5, 8), random_n=6, random_seeds=2, grid_step=0.3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

@@ -1,0 +1,30 @@
+"""Bench T8 — Theorem 8: WAF ratio <= 7 1/3."""
+
+from repro.cds import waf_cds
+from repro.cds.bounds import waf_bound_this_paper
+from repro.experiments import get_experiment
+
+
+def test_waf_small(benchmark, udg20, udg20_gamma):
+    result = benchmark(waf_cds, udg20)
+    assert result.is_valid(udg20)
+    assert result.size <= float(waf_bound_this_paper(udg20_gamma))
+
+
+def test_waf_medium(benchmark, udg60):
+    result = benchmark(waf_cds, udg60)
+    assert result.is_valid(udg60)
+
+
+def test_waf_large(benchmark, udg150):
+    result = benchmark(waf_cds, udg150)
+    assert result.is_valid(udg150)
+
+
+def test_theorem8_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("T8")(sizes=(12, 16), seeds=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

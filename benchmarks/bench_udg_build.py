@@ -1,0 +1,34 @@
+"""Ablation — UDG construction: naive O(n^2) vs grid-bucketed."""
+
+import pytest
+
+from repro.graphs import (
+    unit_disk_graph,
+    unit_disk_graph_naive,
+    uniform_points,
+)
+
+SIZES = [100, 400]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bucketed_build(benchmark, n):
+    pts = uniform_points(n, side=(n / 3) ** 0.5, seed=0)
+    g = benchmark(unit_disk_graph, pts)
+    assert len(g) == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_naive_build(benchmark, n):
+    pts = uniform_points(n, side=(n / 3) ** 0.5, seed=0)
+    g = benchmark(unit_disk_graph_naive, pts)
+    assert len(g) == n
+
+
+def test_builders_agree():
+    pts = uniform_points(300, 10.0, seed=5)
+    fast = unit_disk_graph(pts)
+    slow = unit_disk_graph_naive(pts)
+    assert {frozenset(e) for e in fast.edges()} == {
+        frozenset(e) for e in slow.edges()
+    }

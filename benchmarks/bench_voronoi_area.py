@@ -1,0 +1,25 @@
+"""Bench S5 — Section V area-argument machinery (Funke et al. claim).
+
+Times the clipped Voronoi cell-area computation on the Figure 2 chain
+and asserts the internal consistency the experiment relies on.
+"""
+
+from repro.experiments import get_experiment
+from repro.geometry import disk_union_area, figure2_linear, voronoi_cell_areas
+
+
+def test_cell_areas_on_chain(benchmark):
+    centers, witness = figure2_linear(5)
+    areas = benchmark(voronoi_cell_areas, witness, centers, 1.5, 200)
+    omega = disk_union_area(centers, radius=1.5, resolution=200)
+    assert abs(sum(areas) - omega) < 0.05 * omega
+    assert min(areas) > 0
+
+
+def test_s5_experiment_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: get_experiment("S5")(chain_sizes=(3, 5), resolution=160),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.passed

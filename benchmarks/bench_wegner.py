@@ -1,0 +1,25 @@
+"""Bench W — Wegner's theorem: <= 21 points at pairwise distance >= 1
+in a radius-2 disk (used by Theorem 3's ``n >= 6`` cap)."""
+
+from repro.geometry import (
+    Point,
+    WEGNER_RADIUS2_CAPACITY,
+    disk_candidates,
+    greedy_independent_subset,
+    hexagonal_points_in_disk,
+)
+
+
+def test_hexagonal_witness(benchmark):
+    pts = benchmark(hexagonal_points_in_disk, Point(0.0, 0.0), 2.0, 1.0)
+    assert len(pts) == 19  # classic lower-bound witness
+    assert len(pts) <= WEGNER_RADIUS2_CAPACITY
+
+
+def test_grid_search_respects_cap(benchmark):
+    def search():
+        candidates = disk_candidates(Point(0.0, 0.0), 2.0, 0.22)
+        return greedy_independent_subset(candidates)
+
+    packing = benchmark(search)
+    assert len(packing) <= WEGNER_RADIUS2_CAPACITY

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Density sweep: backbone sizes as the network gets denser.
+
+Sweeps the mean node degree at fixed n and prints, per density, the
+mean CDS size of the paper's two algorithms, the Steiner variant and
+two baselines, plus the exact optimum where affordable.  The expected
+shape: all CDS sizes *shrink* as density grows (fewer dominators cover
+more), the greedy-connector algorithm tracks or beats WAF everywhere,
+and everything stays far below the worst-case bounds.
+
+Usage::
+
+    python examples/density_sweep.py [n] [seeds]
+"""
+
+import math
+import sys
+
+from repro.analysis import estimate_gamma_c, summarize
+from repro.baselines import guha_khuller_cds, wu_li_cds
+from repro.cds import greedy_connector_cds, steiner_cds, waf_cds
+from repro.graphs import random_connected_udg
+
+ALGORITHMS = {
+    "waf": waf_cds,
+    "greedy": greedy_connector_cds,
+    "steiner": steiner_cds,
+    "guha-khuller": guha_khuller_cds,
+    "wu-li": wu_li_cds,
+}
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    header = f"{'degree':>7}" + "".join(f"{name:>14}" for name in ALGORITHMS)
+    header += f"{'gamma_c*':>10}"
+    print(f"mean CDS size, n = {n}, {seeds} seeds per density")
+    print(header)
+    print("-" * len(header))
+
+    for mean_degree in (4.5, 6.0, 8.0, 11.0, 15.0):
+        side = math.sqrt(math.pi * n / mean_degree)
+        sizes = {name: [] for name in ALGORITHMS}
+        gammas = []
+        for seed in range(seeds):
+            _, graph = random_connected_udg(n, side, seed=seed)
+            gamma = estimate_gamma_c(graph, exact_node_limit=30)
+            gammas.append(gamma.value)
+            for name, algorithm in ALGORITHMS.items():
+                result = algorithm(graph).validate(graph)
+                sizes[name].append(result.size)
+        row = f"{mean_degree:>7.1f}"
+        for name in ALGORITHMS:
+            row += f"{summarize(sizes[name]).mean:>14.1f}"
+        row += f"{summarize(gammas).mean:>10.1f}"
+        print(row)
+
+    print("\n(gamma_c* is exact for n <= 30, else the Corollary 7 lower bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Why backbone size matters: energy drain and rotation.
+
+The intro-level motivation for minimum CDS is energy: backbone nodes
+relay for everyone and die first.  This example runs the same traffic
+over three policies —
+
+* ``static``  — the Section IV backbone, built once;
+* ``minimal`` — rebuilt every epoch, still minimizing size;
+* ``rotate``  — rebuilt every epoch with weights = 1 / residual energy
+  (the node-weighted greedy extension), moving the burden around
+
+— and reports network lifetime (epochs until the first node dies),
+how many distinct nodes ever served, and the backbone size band.
+
+Usage::
+
+    python examples/energy_rotation.py [n] [seed]
+"""
+
+import sys
+
+from repro.energy import simulate_epochs
+from repro.graphs import random_connected_udg
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    # Dense deployment: rotation needs alternative backbones to exist.
+    side = (3.1416 * n / 10.0) ** 0.5
+    _, graph = random_connected_udg(n, side, seed=seed)
+    print(f"topology: {len(graph)} nodes, {graph.edge_count()} links\n")
+
+    print(f"{'policy':<10}{'lifetime (epochs)':>18}{'distinct relays':>17}"
+          f"{'size band':>12}")
+    results = {}
+    for policy in ("static", "minimal", "rotate"):
+        report = simulate_epochs(
+            graph, policy=policy, epochs=150, initial=60.0, relay_cost=5.0
+        )
+        results[policy] = report
+        sizes = report.backbone_sizes
+        band = f"{min(sizes)}-{max(sizes)}"
+        print(f"{policy:<10}{report.epochs_survived:>18}"
+              f"{report.distinct_backbone_nodes:>17}{band:>12}")
+
+    gain = results["rotate"].epochs_survived / max(
+        1, results["static"].epochs_survived
+    )
+    print(f"\nrotation extends network lifetime {gain:.1f}x over a static "
+          f"backbone by spreading relay duty across "
+          f"{results['rotate'].distinct_backbone_nodes} nodes")
+
+
+if __name__ == "__main__":
+    main()

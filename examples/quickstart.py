@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: build a random wireless topology and construct backbones.
+
+Runs both of the paper's two-phased algorithms (WAF, Section III; the
+new greedy-connector algorithm, Section IV) on a connected random
+unit-disk graph, validates the outputs, and relates their sizes to the
+exact optimum and the paper's proven ratio bounds.
+
+Usage::
+
+    python examples/quickstart.py [n] [seed]
+"""
+
+import sys
+
+from repro.analysis import estimate_gamma_c
+from repro.cds import greedy_connector_cds, waf_cds
+from repro.cds.bounds import greedy_bound_this_paper, waf_bound_this_paper
+from repro.graphs import random_connected_udg
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    side = max(1.5, (3.1416 * n / 5.5) ** 0.5)
+
+    print(f"deploying {n} nodes in a {side:.1f} x {side:.1f} field (seed {seed})")
+    points, graph = random_connected_udg(n, side, seed=seed)
+    print(f"topology: {len(graph)} nodes, {graph.edge_count()} links\n")
+
+    waf = waf_cds(graph).validate(graph)
+    greedy = greedy_connector_cds(graph).validate(graph)
+    gamma = estimate_gamma_c(graph)
+
+    print(f"phase-1 MIS size (both algorithms): {len(waf.dominators)}")
+    print(f"WAF backbone (Thm 8, ratio <= 7 1/3):        {waf.size} nodes")
+    print(f"greedy-connector backbone (Thm 10, <= 6 7/18): {greedy.size} nodes")
+    kind = "exact" if gamma.exact else "lower bound"
+    print(f"gamma_c ({kind} via {gamma.method}): {gamma.value}\n")
+
+    print(f"WAF ratio:    {waf.size / gamma.value:.2f} "
+          f"(bound {float(waf_bound_this_paper(1)):.2f} per gamma_c)")
+    print(f"greedy ratio: {greedy.size / gamma.value:.2f} "
+          f"(bound {float(greedy_bound_this_paper(1)):.2f} per gamma_c)")
+
+    assert waf.size <= float(waf_bound_this_paper(gamma.value)) or not gamma.exact
+    assert greedy.size <= float(greedy_bound_this_paper(gamma.value)) or not gamma.exact
+    print("\nboth backbones valid; paper bounds respected\n")
+
+    from repro.viz import render_backbone_legend, render_deployment
+
+    print(render_deployment(points, greedy, width=56))
+    print(render_backbone_legend())
+
+
+if __name__ == "__main__":
+    main()

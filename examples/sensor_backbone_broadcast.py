@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Sensor-network broadcast over a CDS backbone vs blind flooding.
+
+The motivating application from the paper's introduction: a CDS acts as
+a virtual backbone, so a network-wide broadcast only needs the backbone
+nodes to retransmit.  This example builds a clustered sensor
+deployment, constructs the backbone with the paper's Section IV
+algorithm, and compares transmission counts:
+
+* blind flooding — every node retransmits once;
+* backbone broadcast — only CDS nodes retransmit (still reaches all).
+
+Both are executed on the synchronous radio simulator, so the numbers
+are measured, not estimated.
+
+Usage::
+
+    python examples/sensor_backbone_broadcast.py [n] [seed]
+"""
+
+import sys
+
+from repro.cds import greedy_connector_cds
+from repro.distributed import Context, Message, NodeProcess, Simulator
+from repro.experiments.instances import int_labeled
+from repro.graphs import clustered_points, largest_component_udg
+
+
+class FloodNode(NodeProcess):
+    """Blind flooding: rebroadcast the first copy heard."""
+
+    def __init__(self, node_id, source, relays=None):
+        super().__init__(node_id)
+        self.source = source
+        self.got_message = node_id == source
+        self.relays = relays  # None = everyone relays
+
+    def _may_relay(self) -> bool:
+        return self.relays is None or self.node_id in self.relays
+
+    def on_start(self, ctx: Context) -> None:
+        if self.node_id == self.source:
+            ctx.broadcast("data", hops=0)
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        if message.kind == "data" and not self.got_message:
+            self.got_message = True
+            if self._may_relay():
+                ctx.broadcast("data", hops=message.payload["hops"] + 1)
+
+
+def run_broadcast(graph, source, relays=None):
+    sim = Simulator(graph, lambda v: FloodNode(v, source, relays))
+    metrics = sim.run()
+    reached = sum(1 for p in sim.processes.values() if p.got_message)
+    return reached, metrics
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    points = clustered_points(n, side=9.0, clusters=5, spread=0.8, seed=seed)
+    _, point_graph = largest_component_udg(points)
+    graph = int_labeled(point_graph)
+    print(f"sensor field: {len(graph)} connected nodes, "
+          f"{graph.edge_count()} radio links")
+
+    backbone = greedy_connector_cds(graph).validate(graph)
+    print(f"backbone (greedy-connector): {backbone.size} nodes "
+          f"({100 * backbone.size / len(graph):.0f}% of the network)\n")
+
+    source = min(graph.nodes())
+    # The source must always transmit; backbone relays handle the rest.
+    relays = set(backbone.nodes) | {source}
+
+    reached_flood, flood = run_broadcast(graph, source)
+    reached_backbone, routed = run_broadcast(graph, source, relays)
+
+    assert reached_flood == len(graph), "flooding failed to reach everyone"
+    assert reached_backbone == len(graph), "backbone broadcast missed nodes"
+
+    print(f"{'strategy':<20}{'transmissions':>14}{'rounds':>8}")
+    print(f"{'blind flooding':<20}{flood.transmissions:>14}{flood.rounds:>8}")
+    print(f"{'CDS backbone':<20}{routed.transmissions:>14}{routed.rounds:>8}")
+    saving = 100 * (1 - routed.transmissions / flood.transmissions)
+    print(f"\nbackbone broadcast saves {saving:.0f}% of transmissions "
+          f"while still reaching all {len(graph)} nodes")
+
+    # Collision-free operation: TDMA slots for the backbone relays.
+    from repro.scheduling import (
+        broadcast_schedule_length,
+        distance2_coloring,
+        is_collision_free,
+    )
+
+    slots = distance2_coloring(graph, relays)
+    assert is_collision_free(graph, slots)
+    latency = broadcast_schedule_length(graph, backbone.nodes, source)
+    print(f"\nTDMA schedule: {max(slots.values()) + 1} slots per frame "
+          f"(distance-2 coloring of the backbone)")
+    print(f"pipelined collision-free broadcast completes by slot {latency}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Run the complete paper-verification battery and print every table.
+
+This is the one-command reproduction: every theorem, lemma, figure and
+comparison from the paper, executed and checked.  Equivalent to
+``python -m repro --all`` (quick default parameters).
+
+Usage::
+
+    python examples/theory_verification.py
+"""
+
+import sys
+
+from repro.experiments import all_experiments
+
+
+def main() -> int:
+    failed = []
+    for key in sorted(all_experiments()):
+        _, fn = all_experiments()[key]
+        result = fn()
+        print(result.render())
+        print()
+        if not result.passed:
+            failed.append(key)
+    if failed:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("every paper claim verified")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

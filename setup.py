@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools lacks PEP 660 editable-wheel support; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

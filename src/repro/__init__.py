@@ -1,0 +1,50 @@
+"""Reproduction of Wan, Wang & Yao, "Two-Phased Approximation Algorithms
+for Minimum CDS in Wireless Ad Hoc Networks" (ICDCS 2008).
+
+Public API tour:
+
+* :mod:`repro.geometry` — points, disks, packings, stars, the Figure 1/2
+  tightness constructions.
+* :mod:`repro.graphs` — unit-disk graphs, generators, validators.
+* :mod:`repro.mis` — phase-1 MIS algorithms and exact ``alpha(G)``.
+* :mod:`repro.cds` — the paper's two algorithms (``waf_cds``,
+  ``greedy_connector_cds``), every stated bound, exact ``gamma_c``.
+* :mod:`repro.baselines` — the related-work CDS algorithms.
+* :mod:`repro.distributed` — the message-passing protocol renditions.
+* :mod:`repro.analysis` — theorem checkers and ratio measurement.
+* :mod:`repro.experiments` — one runnable experiment per paper artifact.
+
+Quick start::
+
+    from repro.graphs import random_connected_udg
+    from repro.cds import waf_cds, greedy_connector_cds
+
+    points, graph = random_connected_udg(n=60, side=6.0, seed=1)
+    print(waf_cds(graph).size, greedy_connector_cds(graph).size)
+"""
+
+from .cds import (
+    CDSResult,
+    connected_domination_number,
+    greedy_connector_cds,
+    minimum_cds,
+    waf_cds,
+)
+from .graphs import Graph, random_connected_udg, unit_disk_graph
+from .mis import first_fit_mis, independence_number
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDSResult",
+    "Graph",
+    "connected_domination_number",
+    "first_fit_mis",
+    "greedy_connector_cds",
+    "independence_number",
+    "minimum_cds",
+    "random_connected_udg",
+    "unit_disk_graph",
+    "waf_cds",
+    "__version__",
+]

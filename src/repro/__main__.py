@@ -1,0 +1,5 @@
+"""``python -m repro`` delegates to the CLI."""
+
+from .cli import main
+
+raise SystemExit(main())

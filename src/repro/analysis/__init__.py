@@ -1,0 +1,52 @@
+"""Analysis: theorem checkers, packing counters, ratio measurement."""
+
+from .independence import (
+    empirical_max_packing,
+    lemma1_quantity,
+    lemma2_quantity,
+    packing_count,
+    points_near,
+    symmetric_difference_count,
+)
+from .ratios import GammaEstimate, RatioMeasurement, estimate_gamma_c, measure_ratio
+from .bounds_check import (
+    BoundCheck,
+    PrefixDecomposition,
+    check_corollary7,
+    check_lemma9_trace,
+    check_ratio_bound,
+    check_theorem3,
+    check_theorem3_conditional,
+    check_theorem6,
+    check_theorem6_variants,
+    prefix_decomposition,
+)
+from .adversarial import AdversarialResult, adversarial_ratio_search
+from .statistics import Summary, summarize
+
+__all__ = [
+    "empirical_max_packing",
+    "lemma1_quantity",
+    "lemma2_quantity",
+    "packing_count",
+    "points_near",
+    "symmetric_difference_count",
+    "GammaEstimate",
+    "RatioMeasurement",
+    "estimate_gamma_c",
+    "measure_ratio",
+    "BoundCheck",
+    "PrefixDecomposition",
+    "check_corollary7",
+    "check_lemma9_trace",
+    "check_ratio_bound",
+    "check_theorem3",
+    "check_theorem3_conditional",
+    "check_theorem6",
+    "check_theorem6_variants",
+    "prefix_decomposition",
+    "Summary",
+    "summarize",
+    "AdversarialResult",
+    "adversarial_ratio_search",
+]

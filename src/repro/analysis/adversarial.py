@@ -1,0 +1,136 @@
+"""Adversarial instance search: how bad can the ratio actually get?
+
+Random UDGs realize ratios around 1.5 — far below the proven 7 1/3 and
+6 7/18.  This module searches for *bad* instances by hill-climbing over
+node positions: perturb one node at a time, keep the move whenever the
+realized ``|CDS| / gamma_c`` does not decrease (exact ``gamma_c``, so
+instance sizes stay small).  Chain-like seeds are included because the
+paper's own worst-case family (Figure 2) is linear.
+
+The search is a probe, not a proof: it gives empirical lower bounds on
+each algorithm's worst-case ratio, showing how much of the gap between
+the average case and the theorems adversarial geometry can recover.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..geometry.point import Point
+from ..graphs.graph import Graph
+from ..graphs.generators import chain_points, uniform_points
+from ..graphs.traversal import is_connected
+from ..graphs.udg import unit_disk_graph
+from ..cds.base import CDSResult
+from ..cds.exact import minimum_cds
+
+__all__ = ["AdversarialResult", "adversarial_ratio_search"]
+
+
+@dataclass(frozen=True)
+class AdversarialResult:
+    """Outcome of one search run."""
+
+    algorithm: str
+    best_ratio: float
+    best_points: tuple[Point, ...]
+    cds_size: int
+    gamma_c: int
+    accepted_moves: int
+    iterations: int
+
+
+def _ratio_of(
+    points: Sequence[Point], algorithm: Callable[[Graph[Point]], CDSResult]
+) -> tuple[float, int, int] | None:
+    """Realized ratio on a deployment, or None if not connected."""
+    graph = unit_disk_graph(points)
+    if not is_connected(graph):
+        return None
+    result = algorithm(graph)
+    gamma_c = len(minimum_cds(graph, upper_bound=result.size))
+    return result.size / gamma_c, result.size, gamma_c
+
+
+def _seed_deployments(n: int, rng: random.Random) -> list[list[Point]]:
+    """Starting points: a jittered chain plus random connected fields."""
+    seeds: list[list[Point]] = []
+    chain = chain_points(n, spacing=0.95)
+    seeds.append(
+        [Point(p.x, p.y + rng.uniform(-0.02, 0.02)) for p in chain]
+    )
+    side = max(1.5, 0.75 * n**0.5)
+    for _ in range(3):
+        pts = uniform_points(n, side, seed=rng.randint(0, 10**9))
+        if is_connected(unit_disk_graph(pts)):
+            seeds.append(pts)
+    return seeds
+
+
+def adversarial_ratio_search(
+    n: int,
+    algorithm: Callable[[Graph[Point]], CDSResult],
+    iterations: int = 150,
+    seed: int = 0,
+    step: float = 0.35,
+) -> AdversarialResult:
+    """Hill-climb node positions to maximize ``|CDS| / gamma_c``.
+
+    Args:
+        n: instance size (keep <= ~18: every evaluation solves an exact
+            minimum CDS).
+        algorithm: the CDS construction under attack.
+        iterations: proposal count across all seeds.
+        seed: RNG seed; the search is deterministic given it.
+        step: Gaussian proposal scale for position perturbations.
+
+    Returns:
+        The best instance found and its realized ratio.
+    """
+    if n < 3:
+        raise ValueError("adversarial search needs n >= 3")
+    rng = random.Random(seed)
+    best: tuple[float, list[Point], int, int] | None = None
+    accepted = 0
+    label = "?"
+
+    for start in _seed_deployments(n, rng):
+        current = list(start)
+        evaluated = _ratio_of(current, algorithm)
+        if evaluated is None:
+            continue
+        ratio, size, gamma_c = evaluated
+        label = algorithm(unit_disk_graph(current)).algorithm
+        if best is None or ratio > best[0]:
+            best = (ratio, list(current), size, gamma_c)
+        for _ in range(iterations // 4):
+            index = rng.randrange(n)
+            proposal = list(current)
+            proposal[index] = Point(
+                current[index].x + rng.gauss(0.0, step),
+                current[index].y + rng.gauss(0.0, step),
+            )
+            evaluated = _ratio_of(proposal, algorithm)
+            if evaluated is None:
+                continue
+            new_ratio, new_size, new_gamma = evaluated
+            # Accept non-worsening moves (plateau walks escape local optima).
+            if new_ratio >= ratio:
+                current, ratio = proposal, new_ratio
+                accepted += 1
+                if best is None or new_ratio > best[0]:
+                    best = (new_ratio, list(proposal), new_size, new_gamma)
+
+    if best is None:
+        raise ValueError("no connected deployment found; lower n or step")
+    return AdversarialResult(
+        algorithm=label,
+        best_ratio=best[0],
+        best_points=tuple(best[1]),
+        cds_size=best[2],
+        gamma_c=best[3],
+        accepted_moves=accepted,
+        iterations=iterations,
+    )

@@ -1,0 +1,255 @@
+"""Empirical verification of every bound the paper proves.
+
+Each checker returns a :class:`BoundCheck` — the named claim, the
+measured left-hand side, the bound, and whether it holds.  A failing
+check on valid inputs would mean either the reproduction or the paper
+is wrong, so the test suite asserts ``holds`` across randomized and
+adversarial instance families.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Sequence, TypeVar
+
+from ..geometry.point import Point
+from ..geometry.packing import phi
+from ..geometry.stars import is_star
+from ..cds import bounds
+from ..cds.base import CDSResult
+from .independence import packing_count
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = [
+    "BoundCheck",
+    "check_theorem3",
+    "check_theorem3_conditional",
+    "check_theorem6",
+    "check_theorem6_variants",
+    "check_corollary7",
+    "check_ratio_bound",
+    "check_lemma9_trace",
+    "PrefixDecomposition",
+    "prefix_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class BoundCheck:
+    """One verified inequality: ``lhs <= rhs`` for claim ``name``."""
+
+    name: str
+    lhs: float
+    rhs: float
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs <= self.rhs + 1e-9
+
+    @property
+    def slack(self) -> float:
+        """How far below the bound the measurement sits."""
+        return self.rhs - self.lhs
+
+
+def check_theorem3(
+    star: Sequence[Point], independent: Sequence[Point]
+) -> BoundCheck:
+    """Theorem 3: ``|I(S)| <= phi_n`` for an n-star ``S``.
+
+    Raises:
+        ValueError: if ``star`` is not actually a star.
+    """
+    if not is_star(star):
+        raise ValueError("input set is not a star")
+    n = len(star)
+    return BoundCheck(
+        name=f"theorem3(n={n})",
+        lhs=packing_count(independent, star),
+        rhs=phi(n),
+    )
+
+
+def check_theorem3_conditional(
+    star: Sequence[Point], independent: Sequence[Point]
+) -> BoundCheck | None:
+    """Theorem 3's conditional claim: for ``n <= 4`` stars where every
+    member sees at most 4 independent points, ``|I(S)| <= phi_n - 1``.
+
+    Returns ``None`` when the premise does not apply (larger star, or
+    some member with 5 independent points in range).
+    """
+    from .independence import points_near
+
+    if not is_star(star):
+        raise ValueError("input set is not a star")
+    n = len(star)
+    if n > 4:
+        return None
+    if any(len(points_near(independent, v)) > 4 for v in star):
+        return None
+    return BoundCheck(
+        name=f"theorem3-conditional(n={n})",
+        lhs=packing_count(independent, star),
+        rhs=phi(n) - 1,
+    )
+
+
+def check_theorem6(
+    connected_set: Sequence[Point], independent: Sequence[Point]
+) -> BoundCheck:
+    """Theorem 6: ``|I(V)| <= 11n/3 + 1`` for connected ``V`` (n >= 2)."""
+    n = len(connected_set)
+    return BoundCheck(
+        name=f"theorem6(n={n})",
+        lhs=packing_count(independent, connected_set),
+        rhs=float(bounds.neighborhood_bound(n)),
+    )
+
+
+def check_theorem6_variants(
+    connected_set: Sequence[Point], independent: Sequence[Point]
+) -> list[BoundCheck]:
+    """Theorem 6's conditional refinements, where their premises apply.
+
+    * every ``|I(v)| <= 4``  →  ``|I(V)| <= 11n/3``;
+    * ``V ∩ I ≠ ∅``          →  ``|I(V)| <= 11n/3 − 1``.
+
+    Returns the checks whose premises hold (possibly empty).
+    """
+    from .independence import points_near
+
+    n = len(connected_set)
+    if n < 2:
+        raise ValueError("Theorem 6 requires n >= 2")
+    count = packing_count(independent, connected_set)
+    checks: list[BoundCheck] = []
+    if all(len(points_near(independent, v)) <= 4 for v in connected_set):
+        checks.append(
+            BoundCheck(
+                name=f"theorem6-capped(n={n})",
+                lhs=count,
+                rhs=float(bounds.neighborhood_bound_capped_degree(n)),
+            )
+        )
+    independent_set = set(independent)
+    if any(v in independent_set for v in connected_set):
+        checks.append(
+            BoundCheck(
+                name=f"theorem6-intersecting(n={n})",
+                lhs=count,
+                rhs=float(bounds.neighborhood_bound_intersecting(n)),
+            )
+        )
+    return checks
+
+
+def check_corollary7(alpha: int, gamma_c: int) -> BoundCheck:
+    """Corollary 7: ``alpha <= 3 2/3 gamma_c + 1``."""
+    return BoundCheck(
+        name="corollary7",
+        lhs=alpha,
+        rhs=float(bounds.alpha_bound_this_paper(gamma_c)),
+    )
+
+
+def check_ratio_bound(result: CDSResult, gamma_c: int) -> BoundCheck:
+    """Theorem 8 / Theorem 10, dispatched on the algorithm label.
+
+    Algorithms without a proven bound in this paper check against
+    ``+inf`` (always holds) so sweeps can run uniformly.
+    """
+    caps = {
+        "waf": bounds.waf_bound_this_paper,
+        "waf-distributed": bounds.waf_bound_this_paper,
+        "greedy-connector": bounds.greedy_bound_this_paper,
+        "greedy-distributed": bounds.greedy_bound_this_paper,
+    }
+    cap = caps.get(result.algorithm)
+    rhs = float(cap(gamma_c)) if cap is not None else math.inf
+    return BoundCheck(
+        name=f"ratio({result.algorithm})", lhs=result.size, rhs=rhs
+    )
+
+
+def check_lemma9_trace(result: CDSResult, gamma_c: int) -> list[BoundCheck]:
+    """Lemma 9 along a greedy run: the i-th realized gain is at least
+    ``max(1, ceil(q_i / gamma_c) - 1)``.
+
+    Requires a result carrying ``gain_history`` / ``q_history`` meta
+    (the Section IV algorithm records them).
+    """
+    gains = result.meta.get("gain_history")
+    q_values = result.meta.get("q_history")
+    if gains is None or q_values is None:
+        raise ValueError("result has no greedy trace in meta")
+    checks = []
+    for i, g in enumerate(gains):
+        need = bounds.lemma9_min_gain(q_values[i], gamma_c)
+        checks.append(
+            BoundCheck(name=f"lemma9(step={i},q={q_values[i]})", lhs=need, rhs=g)
+        )
+    return checks
+
+
+@dataclass(frozen=True)
+class PrefixDecomposition:
+    """The C1/C2/C3 split from the proof of Theorem 10.
+
+    ``C1`` is the shortest prefix of the connector sequence with
+    ``q <= floor(11 gamma_c / 3) - 3``; ``C1 ∪ C2`` the shortest with
+    ``q <= 2 gamma_c + 1``; ``C3`` the rest.  The proof shows
+    ``|C1| <= 1``, ``|C2| <= 13 gamma_c / 18 - 1`` and
+    ``|C3| <= 2 gamma_c - 1``.
+    """
+
+    c1: int
+    c2: int
+    c3: int
+    gamma_c: int
+
+    def checks(self) -> list[BoundCheck]:
+        g = self.gamma_c
+        out = [BoundCheck(name="theorem10.C1", lhs=self.c1, rhs=1.0)]
+        if g >= 3:
+            # The |C2| cap is stated for gamma_c >= 3 (C2 is empty below).
+            out.append(
+                BoundCheck(
+                    name="theorem10.C2",
+                    lhs=self.c2,
+                    rhs=float(Fraction(13, 18) * g - 1) if g > 2 else 0.0,
+                )
+            )
+        else:
+            out.append(BoundCheck(name="theorem10.C2", lhs=self.c2, rhs=0.0))
+        out.append(BoundCheck(name="theorem10.C3", lhs=self.c3, rhs=2.0 * g - 1.0))
+        return out
+
+
+def prefix_decomposition(
+    q_history: Sequence[int], gamma_c: int
+) -> PrefixDecomposition:
+    """Split a greedy connector run into the Theorem 10 prefixes.
+
+    ``q_history[k]`` must be the component count after ``k`` selections
+    (so ``q_history[0] = |I|`` and ``q_history[-1] = 1``).
+    """
+    if gamma_c < 1:
+        raise ValueError("gamma_c must be >= 1")
+    total = len(q_history) - 1
+    # Clamp thresholds to 1: q always reaches 1, so the prefixes are
+    # well-defined even for gamma_c = 1 where the raw t1 would be 0.
+    t1 = max(1, math.floor(Fraction(11, 3) * gamma_c) - 3)
+    t2 = max(1, 2 * gamma_c + 1)
+    len_c1 = next(k for k in range(total + 1) if q_history[k] <= t1)
+    len_c12 = next(k for k in range(total + 1) if q_history[k] <= t2)
+    len_c12 = max(len_c12, len_c1)
+    return PrefixDecomposition(
+        c1=len_c1,
+        c2=len_c12 - len_c1,
+        c3=total - len_c12,
+        gamma_c=gamma_c,
+    )

@@ -1,0 +1,111 @@
+"""Neighborhood packing counts — the quantities of Section II.
+
+For an independent point set ``I`` and points/sets in the plane, the
+paper works with ``I(u) = I ∩ D_u`` and ``I(U) = ∪_u I(u)``.  These
+helpers compute those sets and the specific quantities the lemmas
+bound (the Lemma 1 symmetric difference, the Lemma 2 union), plus an
+empirical maximum-packing search used to probe the bounds from below.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry.point import EPS, Point
+from ..geometry.disks import in_disk, points_in_neighborhood
+from ..geometry.packing import (
+    greedy_independent_subset,
+    max_independent_subset,
+    neighborhood_candidates,
+)
+
+__all__ = [
+    "points_near",
+    "packing_count",
+    "symmetric_difference_count",
+    "lemma1_quantity",
+    "lemma2_quantity",
+    "empirical_max_packing",
+]
+
+
+def points_near(independent: Sequence[Point], u: Point, tol: float = EPS) -> list[Point]:
+    """``I(u) = I ∩ D_u``: members of ``independent`` within unit distance."""
+    return [p for p in independent if in_disk(p, u, 1.0, tol)]
+
+
+def packing_count(independent: Sequence[Point], centers: Sequence[Point]) -> int:
+    """``|I(U)|``: members of ``independent`` in the neighborhood of ``centers``."""
+    return len(points_in_neighborhood(independent, centers))
+
+
+def symmetric_difference_count(
+    independent: Sequence[Point], o: Point, u: Point
+) -> int:
+    """``|I(o) Δ I(u)|`` — bounded by 7 when ``|ou| <= 1`` (Lemma 1)."""
+    io = set(points_near(independent, o))
+    iu = set(points_near(independent, u))
+    return len(io ^ iu)
+
+
+def lemma1_quantity(independent: Sequence[Point], o: Point, u: Point) -> int:
+    """Alias for :func:`symmetric_difference_count` (the Lemma 1 LHS)."""
+    return symmetric_difference_count(independent, o, u)
+
+
+def lemma2_quantity(
+    independent: Sequence[Point], o: Point, others: Sequence[Point]
+) -> tuple[int, bool]:
+    """The Lemma 2 pair: ``|(∪_j I(u_j)) \\ I(o)|`` and its premise.
+
+    Returns ``(count, premise)`` where ``premise`` is whether
+    ``(I(o) \\ {o}) \\ ∪_j I(u_j)`` is non-empty — under which Lemma 2
+    caps the count at 11 (for three ``others`` inside ``D_o``).
+    """
+    io = set(points_near(independent, o))
+    union_others: set[Point] = set()
+    for u in others:
+        union_others |= set(points_near(independent, u))
+    count = len(union_others - io)
+    premise = bool((io - {o}) - union_others)
+    return count, premise
+
+
+def empirical_max_packing(
+    centers: Sequence[Point],
+    step: float = 0.18,
+    exact_limit: int | None = None,
+    tol: float = EPS,
+) -> list[Point]:
+    """Search for a large independent packing in a neighborhood.
+
+    Builds a candidate grid over ``∪ D_u`` and extracts an independent
+    subset — greedily by default, exactly (branch and bound over the
+    candidate conflict graph) when the candidate count is small enough
+    to afford it.  Used by the Theorem 3 / Theorem 6 experiments to
+    show how close random-free packings get to ``phi_n`` and
+    ``11n/3 + 1``; the *tight* witnesses come from
+    :mod:`repro.geometry.constructions` instead.
+
+    Args:
+        centers: the star / connected set.
+        step: candidate grid pitch (finer = stronger packings, slower).
+        exact_limit: if the candidate set has at most this many points,
+            use the exact solver; default: always greedy.
+    """
+    candidates = neighborhood_candidates(centers, step)
+    if exact_limit is not None and len(candidates) <= exact_limit:
+        return max_independent_subset(candidates, tol)
+    # Several greedy passes from different corners; keep the best.
+    best: list[Point] = []
+    for key in (
+        None,
+        lambda p: (-p.x, p.y),
+        lambda p: (p.y, p.x),
+        lambda p: (-p.y, -p.x),
+        lambda p: (p.x * 0.618 + p.y, p.x),
+    ):
+        got = greedy_independent_subset(candidates, tol, key=key)
+        if len(got) > len(best):
+            best = got
+    return best

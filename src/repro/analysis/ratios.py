@@ -1,0 +1,109 @@
+"""Approximation-ratio measurement.
+
+The paper proves worst-case ratios (7 1/3 and 6 7/18); the experiments
+measure realized ratios ``|CDS| / gamma_c`` on sampled instances.  For
+small instances ``gamma_c`` comes from the exact solver; beyond that we
+fall back to the paper's own certified lower bound (Corollary 7
+inverted, fed with the exact independence number or a heuristic MIS),
+in which case the reported ratio is an *upper estimate* and is flagged
+as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+from ..graphs.graph import Graph
+from ..cds.base import CDSResult
+from ..cds.bounds import gamma_c_lower_bound_from_alpha
+from ..cds.exact import minimum_cds
+from ..mis.exact import independence_number
+from ..mis.greedy import lexicographic_mis
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["GammaEstimate", "RatioMeasurement", "estimate_gamma_c", "measure_ratio"]
+
+
+@dataclass(frozen=True)
+class GammaEstimate:
+    """``gamma_c`` or a certified lower bound on it.
+
+    ``exact`` tells which: when False, ``value <= gamma_c`` and any
+    ratio computed against it over-estimates the true ratio.
+    """
+
+    value: int
+    exact: bool
+    method: str
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """One algorithm's realized ratio on one instance."""
+
+    algorithm: str
+    cds_size: int
+    gamma: GammaEstimate
+
+    @property
+    def ratio(self) -> float:
+        return self.cds_size / self.gamma.value
+
+
+def estimate_gamma_c(
+    graph: Graph[N],
+    exact_node_limit: int = 30,
+    exact_alpha_limit: int = 60,
+    upper_bound: int | None = None,
+) -> GammaEstimate:
+    """``gamma_c`` exactly when affordable, else a certified lower bound.
+
+    Policy: exact branch-and-bound up to ``exact_node_limit`` nodes;
+    then the Corollary 7 bound fed with the exact independence number
+    up to ``exact_alpha_limit`` nodes; beyond that, fed with a greedy
+    MIS (still a valid lower bound since ``|MIS| <= alpha``).
+    """
+    n = len(graph)
+    if n <= exact_node_limit:
+        return GammaEstimate(
+            value=len(minimum_cds(graph, upper_bound=upper_bound)),
+            exact=True,
+            method="branch-and-bound",
+        )
+    if n <= exact_alpha_limit:
+        alpha = independence_number(graph)
+        return GammaEstimate(
+            value=gamma_c_lower_bound_from_alpha(alpha),
+            exact=False,
+            method="corollary7(alpha exact)",
+        )
+    mis_size = len(lexicographic_mis(graph))
+    return GammaEstimate(
+        value=gamma_c_lower_bound_from_alpha(mis_size),
+        exact=False,
+        method="corollary7(greedy MIS)",
+    )
+
+
+def measure_ratio(
+    graph: Graph[N],
+    algorithm: Callable[[Graph[N]], CDSResult],
+    gamma: GammaEstimate | None = None,
+    **estimate_kwargs,
+) -> RatioMeasurement:
+    """Run ``algorithm`` on ``graph`` and relate its size to ``gamma_c``.
+
+    Pass a precomputed ``gamma`` when measuring several algorithms on
+    the same instance (the expensive part is the optimum, not the
+    heuristics).
+    """
+    result = algorithm(graph)
+    if not result.is_valid(graph):
+        raise AssertionError(f"{result.algorithm} produced an invalid CDS")
+    if gamma is None:
+        gamma = estimate_gamma_c(graph, **estimate_kwargs)
+    return RatioMeasurement(
+        algorithm=result.algorithm, cds_size=result.size, gamma=gamma
+    )

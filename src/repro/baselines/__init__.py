@@ -1,0 +1,33 @@
+"""Baseline CDS algorithms from the paper's related work.
+
+Everything Section I compares the two-phased framework against:
+Guha–Khuller centralized greedy, Das–Bharghavan set-cover [2],
+Wu–Li marking + pruning, Stojmenovic clustering [9], and the
+message-optimal Alzoubi construction [1].
+"""
+
+from .guha_khuller import guha_khuller_cds
+from .das_bharghavan import chvatal_dominating_set, das_bharghavan_cds
+from .wu_li import wu_li_cds, wu_li_marked
+from .stojmenovic import cluster_heads, stojmenovic_cds
+from .alzoubi import alzoubi_cds
+
+__all__ = [
+    "guha_khuller_cds",
+    "chvatal_dominating_set",
+    "das_bharghavan_cds",
+    "wu_li_cds",
+    "wu_li_marked",
+    "cluster_heads",
+    "stojmenovic_cds",
+    "alzoubi_cds",
+]
+
+#: All baselines keyed by label, for the comparison experiments.
+ALL_BASELINES = {
+    "guha-khuller": guha_khuller_cds,
+    "das-bharghavan": das_bharghavan_cds,
+    "wu-li": wu_li_cds,
+    "stojmenovic": stojmenovic_cds,
+    "alzoubi": alzoubi_cds,
+}

@@ -1,0 +1,111 @@
+"""Wu–Li marking process with pruning Rules 1 and 2.
+
+A well-known non-two-phased baseline: mark every node that has two
+neighbors not adjacent to each other (such nodes lie on some shortest
+path), then prune:
+
+* Rule 1: unmark ``v`` if some marked ``u`` with higher id has
+  ``N[v] ⊆ N[u]``;
+* Rule 2: unmark ``v`` if two marked, mutually-adjacent-to-``v``
+  neighbors ``u, w`` (both with higher id) satisfy
+  ``N(v) ⊆ N(u) ∪ N(w)``.
+
+The marked set after pruning is a CDS of any connected non-complete
+graph; for complete graphs nothing is marked and the single smallest
+node is returned (any single node dominates).  No constant ratio is
+known — the experiments show it trailing both two-phased algorithms
+on dense UDGs, the motivating comparison for MIS-based phase 1.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeVar
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import is_connected
+from ..cds.base import CDSResult
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["wu_li_cds", "wu_li_marked"]
+
+
+def wu_li_marked(graph: Graph[N]) -> set[N]:
+    """The raw marking: nodes with two non-adjacent neighbors."""
+    marked: set[N] = set()
+    for v in graph:
+        nbrs = graph.neighbors(v)
+        found = False
+        for i in range(len(nbrs)):
+            for j in range(i + 1, len(nbrs)):
+                if not graph.has_edge(nbrs[i], nbrs[j]):
+                    found = True
+                    break
+            if found:
+                break
+        if found:
+            marked.add(v)
+    return marked
+
+
+def _rank(node) -> tuple:
+    """Total order on nodes standing in for the protocol's ids."""
+    return (node,) if not isinstance(node, tuple) else node
+
+
+def wu_li_cds(graph: Graph[N]) -> CDSResult:
+    """Marking + Rule 1 + Rule 2.
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if len(graph) == 0:
+        raise ValueError("empty graph")
+    if not is_connected(graph):
+        raise ValueError("graph must be connected")
+    if len(graph) == 1:
+        only = next(iter(graph))
+        return CDSResult(algorithm="wu-li", nodes=frozenset([only]))
+
+    marked = wu_li_marked(graph)
+    if not marked:
+        # Complete graph: every single node is a CDS.
+        return CDSResult(algorithm="wu-li", nodes=frozenset([min(graph.nodes())]))
+
+    # Both rules are applied *simultaneously* against the frozen initial
+    # marking (the variant whose safety proof uses the id order alone);
+    # unmarking sequentially against the shrinking set is not safe.
+    initially_marked = frozenset(marked)
+
+    # Rule 1: coverage by one higher-id marked neighbor.
+    for v in sorted(initially_marked):
+        closed_v = graph.closed_neighborhood(v)
+        for u in graph.neighbors(v):
+            if u in initially_marked and u != v and _rank(u) > _rank(v):
+                if closed_v <= graph.closed_neighborhood(u):
+                    marked.discard(v)
+                    break
+
+    # Rule 2: coverage by two connected higher-id marked neighbors.
+    for v in sorted(marked):
+        open_v = set(graph.neighbors(v))
+        candidates = [
+            u
+            for u in graph.neighbors(v)
+            if u in initially_marked and _rank(u) > _rank(v)
+        ]
+        done = False
+        for i in range(len(candidates)):
+            for j in range(i + 1, len(candidates)):
+                u, w = candidates[i], candidates[j]
+                if not graph.has_edge(u, w):
+                    continue
+                union = set(graph.neighbors(u)) | set(graph.neighbors(w))
+                if open_v <= union:
+                    marked.discard(v)
+                    done = True
+                    break
+            if done:
+                break
+
+    return CDSResult(algorithm="wu-li", nodes=frozenset(marked))

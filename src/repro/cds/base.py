@@ -1,0 +1,72 @@
+"""Common result type for CDS algorithms.
+
+Every construction algorithm in :mod:`repro.cds` and
+:mod:`repro.baselines` returns a :class:`CDSResult`, so the experiment
+harness can treat them uniformly: final node set, the phase-1/phase-2
+split where the algorithm has one, and the algorithm label for tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, TypeVar
+
+from ..graphs.graph import Graph
+from ..graphs.properties import is_connected_dominating_set
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["CDSResult"]
+
+
+@dataclass(frozen=True)
+class CDSResult:
+    """The output of a CDS construction.
+
+    Attributes:
+        algorithm: short label, e.g. ``"waf"`` or ``"greedy-connector"``.
+        nodes: the connected dominating set.
+        dominators: phase-1 nodes (the MIS), when the algorithm is
+            two-phased; otherwise equal to ``nodes``.
+        connectors: phase-2 nodes, in selection order where meaningful.
+        meta: algorithm-specific extras (e.g. the gain history of the
+            Section IV greedy, used by the C1/C2/C3 analysis).
+    """
+
+    algorithm: str
+    nodes: frozenset
+    dominators: tuple = ()
+    connectors: tuple = ()
+    meta: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dominators or self.connectors:
+            combined = set(self.dominators) | set(self.connectors)
+            if combined != set(self.nodes):
+                raise ValueError(
+                    f"{self.algorithm}: dominators+connectors do not equal the CDS"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node) -> bool:
+        return node in self.nodes
+
+    def is_valid(self, graph: Graph[N]) -> bool:
+        """Whether the node set really is a CDS of ``graph``."""
+        return is_connected_dominating_set(graph, self.nodes)
+
+    def validate(self, graph: Graph[N]) -> "CDSResult":
+        """Return self if valid, raise otherwise.
+
+        Chained by callers that want hard failure on broken output:
+        ``waf_cds(g).validate(g)``.
+        """
+        if not self.is_valid(graph):
+            raise AssertionError(f"{self.algorithm} produced an invalid CDS")
+        return self

@@ -1,0 +1,157 @@
+"""The paper's bound formulas, as executable functions.
+
+Everything Sections I–IV state about sizes, collected in one place so
+the experiments can print "paper bound vs measured" rows.  Each bound
+is a function of ``gamma_c`` (the connected domination number) or of
+``n`` (a star / connected-set size), matching the paper's statements:
+
+==============================  ==========================================
+``alpha_bound_wan2004``         ``alpha <= 4 gamma_c + 1``            [10]
+``alpha_bound_wu2006``          ``alpha <= 3.8 gamma_c + 1.2``        [12]
+``alpha_bound_this_paper``      ``alpha <= 11/3 gamma_c + 1``      (Cor 7)
+``alpha_bound_funke_claim``     ``alpha <= 3.453 gamma_c + 8.291``  (conj.)
+``phi``                         Theorem 3 star-neighborhood packing bound
+``neighborhood_bound``          Theorem 6: ``|I(V)| <= 11n/3 + 1``
+``waf_bound_wan2004``           ``|CDS| <= 8 gamma_c - 1``            [10]
+``waf_bound_wu2006``            ``|CDS| <= 7.6 gamma_c + 1.4``        [12]
+``waf_bound_this_paper``        Theorem 8: ``|CDS| <= 7 1/3 gamma_c``
+``greedy_bound_this_paper``     Theorem 10: ``|CDS| <= 6 7/18 gamma_c``
+``waf_bound_conjectured``       Section V conjecture: ``6 gamma_c``
+``greedy_bound_conjectured``    Section V conjecture: ``5.5 gamma_c``
+``lemma9_min_gain``             Lemma 9: best gain ``>= max(1, ceil(q/gamma_c)-1)``
+==============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..geometry.packing import phi
+
+__all__ = [
+    "WAF_RATIO",
+    "GREEDY_RATIO",
+    "ALPHA_SLOPE",
+    "phi",
+    "alpha_bound_wan2004",
+    "alpha_bound_wu2006",
+    "alpha_bound_this_paper",
+    "alpha_bound_funke_claim",
+    "neighborhood_bound",
+    "neighborhood_bound_capped_degree",
+    "neighborhood_bound_intersecting",
+    "waf_bound_wan2004",
+    "waf_bound_wu2006",
+    "waf_bound_this_paper",
+    "greedy_bound_this_paper",
+    "waf_bound_conjectured",
+    "greedy_bound_conjectured",
+    "lemma9_min_gain",
+    "gamma_c_lower_bound_from_alpha",
+]
+
+#: Theorem 8 approximation ratio: 7 1/3.
+WAF_RATIO: Fraction = Fraction(22, 3)
+#: Theorem 10 approximation ratio: 6 7/18.
+GREEDY_RATIO: Fraction = Fraction(115, 18)
+#: Corollary 7 slope: 3 2/3.
+ALPHA_SLOPE: Fraction = Fraction(11, 3)
+
+
+def alpha_bound_wan2004(gamma_c: int) -> float:
+    """``4 gamma_c + 1`` — the loose relation from [10]."""
+    return 4.0 * gamma_c + 1.0
+
+
+def alpha_bound_wu2006(gamma_c: int) -> float:
+    """``3.8 gamma_c + 1.2`` — the refined relation from [12]."""
+    return 3.8 * gamma_c + 1.2
+
+
+def alpha_bound_this_paper(gamma_c: int) -> Fraction:
+    """Corollary 7: ``alpha <= 3 2/3 gamma_c + 1`` (connected UDG, n >= 2)."""
+    return ALPHA_SLOPE * gamma_c + 1
+
+
+def alpha_bound_funke_claim(gamma_c: int) -> float:
+    """The *unproven* claim of [7]: ``3.453 gamma_c + 8.291``.
+
+    Section V demotes this to a conjecture; we expose it so experiments
+    can show where it would sit relative to the proven bounds.
+    """
+    return 3.453 * gamma_c + 8.291
+
+
+def neighborhood_bound(n: int) -> Fraction:
+    """Theorem 6: ``|I(V)| <= 11 n / 3 + 1`` for connected ``V``, n >= 2."""
+    if n < 2:
+        raise ValueError("Theorem 6 requires n >= 2")
+    return Fraction(11, 3) * n + 1
+
+
+def neighborhood_bound_capped_degree(n: int) -> Fraction:
+    """Theorem 6 variant: ``<= 11 n / 3`` when every ``|I(v)| <= 4``."""
+    if n < 2:
+        raise ValueError("Theorem 6 requires n >= 2")
+    return Fraction(11, 3) * n
+
+
+def neighborhood_bound_intersecting(n: int) -> Fraction:
+    """Theorem 6 variant: ``<= 11 n / 3 - 1`` when ``V ∩ I ≠ ∅``."""
+    if n < 2:
+        raise ValueError("Theorem 6 requires n >= 2")
+    return Fraction(11, 3) * n - 1
+
+
+def waf_bound_wan2004(gamma_c: int) -> float:
+    """The original bound of [10]: ``8 gamma_c - 1``."""
+    return 8.0 * gamma_c - 1.0
+
+
+def waf_bound_wu2006(gamma_c: int) -> float:
+    """The [12] improvement: ``7.6 gamma_c + 1.4``."""
+    return 7.6 * gamma_c + 1.4
+
+
+def waf_bound_this_paper(gamma_c: int) -> Fraction:
+    """Theorem 8: ``|I ∪ C| <= 7 1/3 gamma_c``."""
+    return WAF_RATIO * gamma_c
+
+
+def greedy_bound_this_paper(gamma_c: int) -> Fraction:
+    """Theorem 10: ``|I ∪ C| <= 6 7/18 gamma_c``."""
+    return GREEDY_RATIO * gamma_c
+
+
+def waf_bound_conjectured(gamma_c: int) -> float:
+    """Section V: ratio 6, conditional on the 3(n+1) packing conjecture."""
+    return 6.0 * gamma_c
+
+
+def greedy_bound_conjectured(gamma_c: int) -> float:
+    """Section V: ratio 5.5, conditional on the 3(n+1) packing conjecture."""
+    return 5.5 * gamma_c
+
+
+def lemma9_min_gain(q: int, gamma_c: int) -> int:
+    """Lemma 9: while ``q > 1`` some node has gain at least this."""
+    if q <= 1:
+        return 0
+    if gamma_c < 1:
+        raise ValueError("gamma_c must be >= 1")
+    return max(1, math.ceil(q / gamma_c) - 1)
+
+
+def gamma_c_lower_bound_from_alpha(alpha: int) -> int:
+    """Corollary 7 inverted: ``gamma_c >= 3 (alpha - 1) / 11``.
+
+    Since any MIS size lower-bounds nothing but alpha does, feeding the
+    *exact* independence number gives a certified lower bound on
+    ``gamma_c`` — and because phase 1's output ``|I| <= alpha``, even a
+    heuristic MIS gives a valid (weaker) bound.  Used by the ratio
+    experiments when exact ``gamma_c`` is out of reach.
+    """
+    if alpha < 1:
+        raise ValueError("alpha must be >= 1")
+    return max(1, math.ceil(Fraction(3 * (alpha - 1), 11)))

@@ -1,0 +1,99 @@
+"""The paper's new two-phased algorithm (Section IV).
+
+Phase 1 is identical to WAF: the BFS first-fit MIS ``I``.  Phase 2
+selects connectors *greedily by gain*: while ``G[I ∪ C]`` has more than
+one component, add the node ``w ∈ V \\ (I ∪ C)`` whose addition merges
+the most components (maximum ``Δ_w q(C)``).  Lemma 9 guarantees such a
+node always exists with gain ≥ 1 (indeed ≥ ⌈q/γ_c⌉ − 1 for some node of
+the optimum), so the loop terminates with a CDS.
+
+Theorem 10 bounds the output by ``6 7/18 γ_c`` via the C1/C2/C3 prefix
+decomposition; the recorded ``gain_history`` and ``q_history`` in the
+result's ``meta`` let the analysis module re-derive that decomposition
+on concrete runs (see :func:`repro.analysis.bounds_check.prefix_decomposition`).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+from ..graphs.graph import Graph
+from ..mis.first_fit import first_fit_mis
+from .base import CDSResult
+from .gain import GainTracker
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["greedy_connector_cds", "greedy_connectors"]
+
+
+def greedy_connectors(
+    graph: Graph[N], dominators: Iterable[N], tie_break: str = "min"
+) -> tuple[list[N], list[int], list[int]]:
+    """Run the greedy phase 2 on an already-chosen dominating set.
+
+    Args:
+        graph: the connected topology.
+        dominators: the phase-1 MIS (any dominating set with the 2-hop
+            separation property works; Lemma 9 needs it).
+        tie_break: gain tie resolution ("min" / "max" / "degree"),
+            forwarded to :meth:`GainTracker.best_connector`.
+
+    Returns:
+        ``(connectors, gain_history, q_history)`` where ``q_history[i]``
+        is ``q`` *before* the i-th selection (so ``q_history[0] = |I|``)
+        plus a final entry of 1.
+    """
+    tracker = GainTracker(graph, dominators)
+    connectors: list[N] = []
+    gains: list[int] = []
+    q_values: list[int] = [tracker.component_count]
+    while tracker.component_count > 1:
+        w, g = tracker.best_connector(tie_break)
+        realized = tracker.add(w)
+        assert realized == g
+        connectors.append(w)
+        gains.append(g)
+        q_values.append(tracker.component_count)
+    return connectors, gains, q_values
+
+
+def greedy_connector_cds(
+    graph: Graph[N], root: N | None = None, tie_break: str = "min"
+) -> CDSResult:
+    """Run the full Section IV algorithm.
+
+    Args:
+        graph: a connected topology (UDG for the guarantee to apply).
+        root: phase-1 tree root / leader; defaults to the smallest node.
+        tie_break: gain tie resolution ("min" / "max" / "degree").
+
+    Returns:
+        :class:`CDSResult` with ``meta['gain_history']`` and
+        ``meta['q_history']`` recording the greedy trajectory.
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if len(graph) == 1:
+        only = next(iter(graph))
+        return CDSResult(
+            algorithm="greedy-connector",
+            nodes=frozenset([only]),
+            dominators=(only,),
+            connectors=(),
+        )
+    mis = first_fit_mis(graph, root)
+    connectors, gains, q_values = greedy_connectors(graph, mis.nodes, tie_break)
+    nodes = frozenset(mis.nodes) | frozenset(connectors)
+    return CDSResult(
+        algorithm="greedy-connector",
+        nodes=nodes,
+        dominators=tuple(mis.nodes),
+        connectors=tuple(connectors),
+        meta={
+            "root": mis.tree.root,
+            "gain_history": tuple(gains),
+            "q_history": tuple(q_values),
+        },
+    )

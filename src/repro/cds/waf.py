@@ -1,0 +1,106 @@
+"""The WAF two-phased algorithm [10], as analyzed in Section III.
+
+Phase 1: fix a rooted spanning tree ``T`` (we use the BFS tree, the
+choice of [10]'s distributed implementation) and select the MIS ``I``
+first-fit in BFS order.  Phase 2: let ``s`` be the neighbor of the root
+adjacent to the largest number of nodes of ``I``; the connector set is
+
+    ``C = {s} ∪ { parent_T(v) : v ∈ I \\ I(s) }``
+
+where ``I(s) = I ∩ N[s]``.  Section III proves ``|I ∪ C| ≤ 7⅓ γ_c``
+(Theorem 8), improving the earlier ``8 γ_c − 1`` of [10] and
+``7.6 γ_c + 1.4`` of [12].
+
+Correctness sketch (why ``I ∪ C`` is connected): the root is in ``I``
+and in ``I(s)``; every other ``v ∈ I`` lies at tree depth ≥ 2, and its
+parent — adjacent to ``v`` — was dominated at selection time by some
+MIS node of strictly smaller depth, so induction on depth connects
+every dominator to the root through ``C``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeVar
+
+from ..graphs.graph import Graph
+from ..mis.first_fit import FirstFitMIS, first_fit_mis
+from .base import CDSResult
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["waf_cds", "waf_connectors"]
+
+
+def waf_connectors(graph: Graph[N], mis: FirstFitMIS) -> list[N]:
+    """Phase 2 of WAF: ``{s}`` plus tree parents of ``I \\ I(s)``.
+
+    Returns the connectors in a deterministic order (``s`` first, then
+    parents in MIS selection order, deduplicated).
+    """
+    tree = mis.tree
+    root = tree.root
+    mis_set = mis.as_set()
+    root_neighbors = graph.neighbors(root)
+    if not root_neighbors:
+        return []
+    # s: the root's neighbor adjacent to the most MIS nodes; ties to the
+    # smallest node for determinism.
+    def coverage(u: N) -> int:
+        return sum(1 for w in graph.neighbors(u) if w in mis_set)
+
+    best = max(coverage(u) for u in root_neighbors)
+    s = min((u for u in root_neighbors if coverage(u) == best), key=_sort_key)
+    covered_by_s = {w for w in graph.neighbors(s) if w in mis_set}
+
+    connectors: list[N] = [s]
+    seen: set[N] = {s}
+    for v in mis.nodes:
+        if v in covered_by_s or v == root:
+            continue
+        p = tree.parent[v]
+        if p not in seen and p not in mis_set:
+            connectors.append(p)
+            seen.add(p)
+    return connectors
+
+
+def waf_cds(
+    graph: Graph[N], root: N | None = None, tree_kind: str = "bfs"
+) -> CDSResult:
+    """Run the full WAF two-phased algorithm.
+
+    Args:
+        graph: a connected topology (UDG for the guarantees to apply).
+        root: tree root / leader; defaults to the smallest node.
+        tree_kind: spanning tree driving phase 1 ("bfs" per [10], or
+            "dfs" — Section III allows an arbitrary rooted tree).
+
+    Returns:
+        A validated-shape :class:`CDSResult` with ``dominators`` the
+        phase-1 MIS and ``connectors`` the phase-2 set.
+
+    Raises:
+        ValueError: if the graph is empty or disconnected.
+    """
+    if len(graph) == 1:
+        only = next(iter(graph))
+        return CDSResult(
+            algorithm="waf", nodes=frozenset([only]), dominators=(only,), connectors=()
+        )
+    mis = first_fit_mis(graph, root, tree_kind)
+    connectors = waf_connectors(graph, mis)
+    nodes = frozenset(mis.nodes) | frozenset(connectors)
+    return CDSResult(
+        algorithm="waf",
+        nodes=nodes,
+        dominators=tuple(mis.nodes),
+        connectors=tuple(connectors),
+        meta={"root": mis.tree.root, "s": connectors[0] if connectors else None},
+    )
+
+
+def _sort_key(node):
+    try:
+        return (0, node)
+    except TypeError:  # pragma: no cover - defensive
+        return (1, repr(node))

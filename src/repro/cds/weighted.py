@@ -1,0 +1,103 @@
+"""Node-weighted CDS construction.
+
+In real sensor networks backbone duty costs energy, and nodes differ in
+how much they can spare; the natural generalization is *minimum-weight*
+CDS.  The paper treats the unweighted problem; this extension adapts
+the Guha–Khuller tree growth to weights: each step blackens the gray
+node with the best ``weight / newly-dominated`` ratio, the weighted
+set-cover rule.
+
+No UDG-specific constant ratio is claimed (the paper's packing
+machinery does not transfer to weights); the ablation benchmark
+measures the cost-vs-size tradeoff against the unweighted algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Mapping, TypeVar
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import is_connected
+from .base import CDSResult
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["weighted_greedy_cds", "cds_weight"]
+
+
+def cds_weight(result: CDSResult, weight: Mapping | Callable[[object], float]) -> float:
+    """Total weight of a CDS under a weight map or function."""
+    get = weight.__getitem__ if isinstance(weight, Mapping) else weight
+    return sum(float(get(v)) for v in result.nodes)
+
+
+def weighted_greedy_cds(
+    graph: Graph[N], weight: Mapping[N, float] | Callable[[N], float]
+) -> CDSResult:
+    """Grow a CDS minimizing weight per newly dominated node.
+
+    Args:
+        graph: connected, non-empty.
+        weight: positive node weights (mapping or callable).
+
+    Raises:
+        ValueError: on empty/disconnected input or non-positive weights.
+    """
+    if len(graph) == 0:
+        raise ValueError("empty graph")
+    get = weight.__getitem__ if isinstance(weight, Mapping) else weight
+    weights: dict[N, float] = {}
+    for v in graph.nodes():
+        w = float(get(v))
+        if w <= 0.0 or not math.isfinite(w):
+            raise ValueError(f"weight of {v!r} must be positive and finite")
+        weights[v] = w
+    if len(graph) == 1:
+        only = next(iter(graph))
+        return CDSResult(algorithm="weighted-greedy", nodes=frozenset([only]))
+    if not is_connected(graph):
+        raise ValueError("graph must be connected")
+
+    white: set[N] = set(graph.nodes())
+    gray: set[N] = set()
+    black: list[N] = []
+
+    def coverage(v: N) -> int:
+        count = 1 if v in white else 0
+        return count + sum(1 for u in graph.neighbors(v) if u in white)
+
+    def blacken(v: N) -> None:
+        white.discard(v)
+        gray.discard(v)
+        black.append(v)
+        for u in graph.neighbors(v):
+            if u in white:
+                white.discard(u)
+                gray.add(u)
+
+    # Seed: globally best cost-effectiveness.
+    seed = min(graph.nodes(), key=lambda v: weights[v] / coverage(v))
+    blacken(seed)
+    while white:
+        best_v: N | None = None
+        best_score = math.inf
+        for v in gray:
+            gain = coverage(v)
+            if gain == 0:
+                continue
+            score = weights[v] / gain
+            if score < best_score:
+                best_score, best_v = score, v
+        if best_v is None:
+            # All frontier nodes dominate nothing new (white nodes hide
+            # beyond gray-but-unproductive ones): force the cheapest
+            # gray expansion toward them.
+            best_v = min(gray, key=lambda v: weights[v])
+        blacken(best_v)
+
+    return CDSResult(
+        algorithm="weighted-greedy",
+        nodes=frozenset(black),
+        meta={"total_weight": sum(weights[v] for v in black)},
+    )

@@ -1,0 +1,189 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-cds``.
+
+Two modes:
+
+* **experiments** (default) — run the registered paper-artifact
+  experiments and print their tables::
+
+      python -m repro --list          # show all experiment ids
+      python -m repro T8 T10          # run two experiments
+      python -m repro --all --csv out # run everything, dump CSVs
+
+* **solve** — run a CDS algorithm on a deployment CSV (``x,y`` header,
+  one point per row; see :mod:`repro.io`)::
+
+      python -m repro solve deploy.csv --algorithm greedy --viz
+      python -m repro solve deploy.csv --algorithm waf --prune \
+          --out backbone.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments.harness import all_experiments, get_experiment
+
+__all__ = ["main"]
+
+
+def _solver_registry():
+    from .baselines import ALL_BASELINES
+    from .cds import greedy_connector_cds, steiner_cds, waf_cds
+
+    solvers = {
+        "waf": waf_cds,
+        "greedy": greedy_connector_cds,
+        "steiner": steiner_cds,
+    }
+    solvers.update(ALL_BASELINES)
+    return solvers
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "solve":
+        return _solve_main(args[1:])
+    return _experiments_main(args)
+
+
+def _experiments_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cds",
+        description=(
+            "Reproduction experiments for 'Two-Phased Approximation "
+            "Algorithms for Minimum CDS in Wireless Ad Hoc Networks' "
+            "(Wan, Wang, Yao - ICDCS 2008).  See also the 'solve' "
+            "subcommand for running algorithms on your own deployments."
+        ),
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids to run")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each result table as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    registry = all_experiments()
+    if args.list or (not args.experiments and not args.all):
+        for key, (title, _) in sorted(registry.items()):
+            print(f"{key:6s} {title}")
+        return 0
+
+    ids = sorted(registry) if args.all else args.experiments
+    failed: list[str] = []
+    for experiment_id in ids:
+        try:
+            fn = get_experiment(experiment_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = fn()
+        print(result.render())
+        print()
+        if args.csv:
+            _write_csv(result, args.csv)
+        if not result.passed:
+            failed.append(result.experiment_id)
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(ids)} experiment(s) passed")
+    return 0
+
+
+def _solve_main(argv: Sequence[str]) -> int:
+    solvers = _solver_registry()
+    parser = argparse.ArgumentParser(
+        prog="repro-cds solve",
+        description="Construct a CDS backbone for a deployment CSV (x,y per row).",
+    )
+    parser.add_argument("deployment", help="CSV file with an 'x,y' header")
+    parser.add_argument(
+        "--algorithm",
+        default="greedy",
+        choices=sorted(solvers),
+        help="construction algorithm (default: greedy — the paper's Section IV)",
+    )
+    parser.add_argument(
+        "--prune", action="store_true", help="minimalize the result afterwards"
+    )
+    parser.add_argument("--out", metavar="FILE", help="write the result as JSON")
+    parser.add_argument(
+        "--viz", action="store_true", help="print a terminal map of the backbone"
+    )
+    parser.add_argument(
+        "--ratio",
+        action="store_true",
+        help="also report |CDS|/gamma_c (exact for small n, else a lower bound)",
+    )
+    args = parser.parse_args(argv)
+
+    from .analysis.ratios import estimate_gamma_c
+    from .cds.prune import prune_result
+    from .graphs.generators import largest_component_udg
+    from .graphs.traversal import is_connected
+    from .graphs.udg import unit_disk_graph
+    from .io import load_points, save_result
+
+    try:
+        points = load_points(args.deployment)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read deployment: {exc}", file=sys.stderr)
+        return 2
+    if not points:
+        print("deployment is empty", file=sys.stderr)
+        return 2
+    graph = unit_disk_graph(points)
+    if not is_connected(graph):
+        kept, graph = largest_component_udg(points)
+        print(
+            f"note: deployment disconnected; using the largest component "
+            f"({len(graph)} of {len(points)} nodes)",
+        )
+        points = kept
+
+    result = solvers[args.algorithm](graph)
+    if not result.is_valid(graph):
+        print(f"{args.algorithm} produced an invalid CDS (bug)", file=sys.stderr)
+        return 1
+    if args.prune:
+        result = prune_result(graph, result)
+
+    print(f"nodes: {len(graph)}   links: {graph.edge_count()}")
+    print(f"algorithm: {result.algorithm}   backbone size: {result.size}")
+    if args.ratio:
+        gamma = estimate_gamma_c(graph)
+        kind = "exact" if gamma.exact else "lower bound"
+        print(
+            f"gamma_c ({kind}, {gamma.method}): {gamma.value}   "
+            f"ratio: {result.size / gamma.value:.3f}"
+        )
+    if args.viz:
+        from .viz import render_backbone_legend, render_deployment
+
+        print(render_deployment(points, result, width=60))
+        print(render_backbone_legend())
+    if args.out:
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _write_csv(result, directory: str) -> None:
+    """Dump each table of an experiment result as a CSV file."""
+    from pathlib import Path
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    for i, table in enumerate(result.tables):
+        name = f"{result.experiment_id.lower()}_{i}.csv"
+        (out / name).write_text(table.to_csv())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Distributed substrate: synchronous simulator and the CDS protocols.
+
+Message-passing renditions of the paper's setting: leader election,
+BFS-tree construction, the rank-based MIS election of [10], the
+Section III tree-parent connector protocol, and a leader-coordinated
+Section IV max-gain connector protocol — all with message/round
+accounting.
+"""
+
+from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .leader import LeaderNode, elect_leader
+from .bfs_tree import BFSNode, DistributedTree, build_bfs_tree
+from .mis_protocol import MISNode, elect_mis
+from .luby import LubyNode, luby_mis
+from .maintenance_protocol import distributed_join
+from .traffic import TrafficStats, run_traffic
+from .cds_protocol import (
+    convergecast_max,
+    distributed_greedy_cds,
+    distributed_waf_cds,
+    flood_min_labels,
+    flood_value,
+)
+
+__all__ = [
+    "Context",
+    "Message",
+    "NodeProcess",
+    "SimMetrics",
+    "Simulator",
+    "LeaderNode",
+    "elect_leader",
+    "BFSNode",
+    "DistributedTree",
+    "build_bfs_tree",
+    "MISNode",
+    "elect_mis",
+    "convergecast_max",
+    "distributed_greedy_cds",
+    "distributed_waf_cds",
+    "flood_min_labels",
+    "flood_value",
+    "LubyNode",
+    "luby_mis",
+    "distributed_join",
+    "TrafficStats",
+    "run_traffic",
+]

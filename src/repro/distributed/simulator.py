@@ -1,0 +1,189 @@
+"""Synchronous message-passing simulator for wireless ad hoc networks.
+
+The paper's setting is *distributed* CDS construction: [10] and [1] are
+analyzed in terms of message and time complexity.  This simulator
+provides the standard synchronous model those analyses assume:
+
+* time advances in rounds;
+* a message sent in round ``r`` is delivered at the start of round
+  ``r + 1``;
+* a *local broadcast* is a single transmission heard by every
+  neighbor (the wireless medium), while a *unicast* is a single
+  transmission with one reception — message complexity counts
+  transmissions, matching the radio-energy accounting of the papers.
+
+Protocols subclass :class:`NodeProcess` and react to ``on_start`` /
+``on_message`` / ``on_round``.  The simulator runs until quiescence
+(no messages in flight and no node asked to stay active) or a round
+cap, and records :class:`SimMetrics`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, TypeVar
+
+from ..graphs.graph import Graph
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["Message", "SimMetrics", "NodeProcess", "Context", "Simulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A delivered message: who sent it, its kind tag, and its payload."""
+
+    sender: Hashable
+    kind: str
+    payload: Mapping[str, Any]
+
+
+@dataclass
+class SimMetrics:
+    """Complexity accounting for one simulation run.
+
+    ``transmissions`` is the message complexity in the wireless model
+    (one local broadcast = one transmission); ``receptions`` counts
+    deliveries; ``rounds`` is the time complexity.
+    """
+
+    rounds: int = 0
+    transmissions: int = 0
+    receptions: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def merge(self, other: "SimMetrics") -> "SimMetrics":
+        """Combined metrics of sequentially-composed phases."""
+        merged = SimMetrics(
+            rounds=self.rounds + other.rounds,
+            transmissions=self.transmissions + other.transmissions,
+            receptions=self.receptions + other.receptions,
+            by_kind=self.by_kind + other.by_kind,
+        )
+        return merged
+
+
+class Context:
+    """The API a node process sees during a callback."""
+
+    __slots__ = ("_sim", "_node_id")
+
+    def __init__(self, sim: "Simulator", node_id: Hashable):
+        self._sim = sim
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> Hashable:
+        return self._node_id
+
+    @property
+    def round(self) -> int:
+        return self._sim.round
+
+    @property
+    def neighbors(self) -> list:
+        """Ids of this node's radio neighbors."""
+        return self._sim.graph.neighbors(self._node_id)
+
+    def send(self, to: Hashable, kind: str, **payload: Any) -> None:
+        """Unicast to a neighbor (delivered next round).
+
+        Raises:
+            ValueError: if ``to`` is not a neighbor — radios cannot
+                reach beyond the unit disk.
+        """
+        if not self._sim.graph.has_edge(self._node_id, to):
+            raise ValueError(f"{self._node_id!r} cannot reach non-neighbor {to!r}")
+        self._sim._enqueue(self._node_id, [to], kind, payload)
+
+    def broadcast(self, kind: str, **payload: Any) -> None:
+        """Local broadcast to all neighbors: one transmission."""
+        self._sim._enqueue(self._node_id, self.neighbors, kind, payload)
+
+    def stay_active(self) -> None:
+        """Keep the simulation alive even with no messages in flight.
+
+        Needed by protocols with internal timers (e.g. waiting a known
+        number of rounds); quiescence otherwise ends the run.
+        """
+        self._sim._active_requests.add(self._node_id)
+
+
+class NodeProcess:
+    """Base class for protocol node state machines.
+
+    Attributes:
+        node_id: this node's identifier.
+    """
+
+    def __init__(self, node_id: Hashable):
+        self.node_id = node_id
+
+    def on_start(self, ctx: Context) -> None:
+        """Called once, in round 0, before any delivery."""
+
+    def on_message(self, ctx: Context, message: Message) -> None:
+        """Called for each message delivered this round."""
+
+    def on_round(self, ctx: Context) -> None:
+        """Called once per round after all deliveries of the round."""
+
+
+class Simulator:
+    """Run one protocol over a fixed topology.
+
+    Args:
+        graph: the communication topology; nodes are the process ids.
+        factory: builds the :class:`NodeProcess` for each node id.
+    """
+
+    def __init__(self, graph: Graph, factory: Callable[[Hashable], NodeProcess]):
+        self.graph = graph
+        self.processes: dict[Hashable, NodeProcess] = {
+            v: factory(v) for v in graph.nodes()
+        }
+        self.metrics = SimMetrics()
+        self.round = 0
+        self._queue: deque[tuple[Hashable, list, str, Mapping[str, Any]]] = deque()
+        self._active_requests: set[Hashable] = set()
+
+    def _enqueue(
+        self, sender: Hashable, receivers: list, kind: str, payload: Mapping[str, Any]
+    ) -> None:
+        self._queue.append((sender, list(receivers), kind, dict(payload)))
+        self.metrics.transmissions += 1
+        self.metrics.by_kind[kind] += 1
+
+    def run(self, max_rounds: int = 10_000) -> SimMetrics:
+        """Execute until quiescence or ``max_rounds``.
+
+        Returns the metrics (also available as ``self.metrics``).
+
+        Raises:
+            RuntimeError: if the round cap is hit with work remaining —
+                a protocol that fails to quiesce is a bug, not a result.
+        """
+        for node_id, proc in self.processes.items():
+            proc.on_start(Context(self, node_id))
+        while self._queue or self._active_requests:
+            if self.round >= max_rounds:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_rounds} rounds"
+                )
+            self.round += 1
+            self.metrics.rounds = self.round
+            self._active_requests.clear()
+            inflight = list(self._queue)
+            self._queue.clear()
+            # Deliver everything sent last round.
+            for sender, receivers, kind, payload in inflight:
+                msg = Message(sender=sender, kind=kind, payload=payload)
+                for r in receivers:
+                    self.metrics.receptions += 1
+                    self.processes[r].on_message(Context(self, r), msg)
+            # Round tick.
+            for node_id, proc in self.processes.items():
+                proc.on_round(Context(self, node_id))
+        return self.metrics

@@ -1,0 +1,11 @@
+"""Experiment modules, one per paper artifact (see DESIGN.md's index)."""
+
+from .harness import ExperimentResult, Table, all_experiments, experiment, get_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Table",
+    "all_experiments",
+    "experiment",
+    "get_experiment",
+]

@@ -1,0 +1,96 @@
+"""Experiment DENS — realized ratios across network density.
+
+Where do the two-phased algorithms lose the most against the optimum?
+This sweep fixes n, varies the mean degree, and measures realized
+ratios with exact optima.
+
+Measured shape (perhaps counter-intuitive): the *absolute* backbone is
+largest in sparse networks, but the realized *ratio* peaks at moderate-
+to-high density — there ``gamma_c`` collapses to a handful of nodes
+while the MIS + connectors overhead cannot shrink below a few nodes per
+dominator.  This mirrors the adversarial search (experiment ADV), whose
+worst instances all have small ``gamma_c``.
+
+Pass criterion: all bounds hold at every density, the greedy-connector
+ratio never exceeds WAF's by more than noise, and every mean ratio
+stays below 2.5 (far under the 6 7/18 / 7 1/3 ceilings).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cds.greedy_connector import greedy_connector_cds
+from ..cds.waf import waf_cds
+from ..cds.bounds import greedy_bound_this_paper, waf_bound_this_paper
+from ..analysis.ratios import estimate_gamma_c
+from ..analysis.statistics import summarize
+from .harness import ExperimentResult, Table, experiment
+from .instances import connected_udg_instances
+
+__all__ = ["run"]
+
+
+@experiment("DENS", "Realized ratio vs network density")
+def run(
+    n: int = 20,
+    seeds: int = 6,
+    mean_degrees: tuple[float, ...] = (4.0, 6.0, 9.0, 13.0),
+) -> ExperimentResult:
+    table = Table(
+        title=f"ratio vs density (n = {n}, exact gamma_c, {seeds} seeds)",
+        headers=[
+            "mean degree",
+            "gamma_c (mean)",
+            "waf ratio (mean)",
+            "greedy ratio (mean)",
+            "violations",
+        ],
+    )
+    all_ok = True
+    means: list[tuple[float, float]] = []
+    for degree in mean_degrees:
+        side = math.sqrt(math.pi * n / degree)
+        waf_ratios: list[float] = []
+        greedy_ratios: list[float] = []
+        gammas: list[int] = []
+        violations = 0
+        for _, graph in connected_udg_instances(n, side, range(seeds)):
+            gamma = estimate_gamma_c(graph)
+            assert gamma.exact
+            gammas.append(gamma.value)
+            waf = waf_cds(graph).validate(graph)
+            greedy = greedy_connector_cds(graph).validate(graph)
+            waf_ratios.append(waf.size / gamma.value)
+            greedy_ratios.append(greedy.size / gamma.value)
+            if waf.size > float(waf_bound_this_paper(gamma.value)):
+                violations += 1
+            if greedy.size > float(greedy_bound_this_paper(gamma.value)):
+                violations += 1
+        all_ok = all_ok and violations == 0
+        mean_waf = summarize(waf_ratios).mean
+        mean_greedy = summarize(greedy_ratios).mean
+        means.append((mean_waf, mean_greedy))
+        table.add_row(
+            f"{degree:.1f}",
+            f"{summarize(gammas).mean:.1f}",
+            f"{summarize(waf_ratios).mean:.3f}",
+            f"{mean_greedy:.3f}",
+            violations,
+        )
+    # Shape checks: greedy <= waf per density (within noise), and all
+    # realized means far below the proven ceilings.
+    all_ok = all_ok and all(g <= w + 0.05 for w, g in means)
+    all_ok = all_ok and all(max(w, g) < 2.5 for w, g in means)
+    return ExperimentResult(
+        experiment_id="DENS",
+        title="Ratio vs density",
+        tables=[table],
+        passed=all_ok,
+        notes=(
+            "The ratio peaks where gamma_c is small (moderate/high "
+            "density): the optimum collapses faster than the two-phased "
+            "overhead.  Consistent with the adversarial search (ADV), "
+            "whose worst instances all have gamma_c ~ 3."
+        ),
+    )

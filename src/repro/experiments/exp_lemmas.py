@@ -1,0 +1,122 @@
+"""Experiments L1 / L2 / W — the packing lemmas behind Theorem 3.
+
+* Lemma 1: ``|I(o) Δ I(u)| <= 7`` whenever ``|ou| <= 1`` — probed with
+  randomized maximal packings around random pairs, plus the Figure 1
+  2-star construction showing the symmetric difference can reach 7.
+* Lemma 2: for ``{u1,u2,u3} ⊂ D_o`` with a private independent point of
+  ``o``, ``|(∪ I(u_j)) \\ I(o)| <= 11``.
+* Wegner's theorem: at most 21 points with pairwise distance >= 1 in a
+  radius-2 disk — probed with grid-search packings (the hexagonal
+  lattice gives the classic lower-bound witness of 19).
+
+Pass criterion: zero violations across all probes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geometry.point import Point
+from ..geometry.packing import (
+    WEGNER_RADIUS2_CAPACITY,
+    disk_candidates,
+    greedy_independent_subset,
+)
+from ..geometry.hexagonal import hexagonal_points_in_disk
+from ..geometry.constructions import figure1_two_star
+from ..analysis.independence import lemma2_quantity, symmetric_difference_count
+from .harness import ExperimentResult, Table, experiment
+
+__all__ = ["run"]
+
+
+def _random_packing_near(points: list[Point], rng: random.Random, step: float) -> list[Point]:
+    """A randomized maximal independent packing covering all D_p."""
+    candidates: list[Point] = []
+    for p in points:
+        candidates.extend(disk_candidates(p, 1.0, step))
+    rng.shuffle(candidates)
+    # A constant key keeps the (shuffled) input order: stable sort.
+    return greedy_independent_subset(candidates, key=lambda q: 0.0)
+
+
+@experiment("LEM", "Lemmas 1-2 and the Wegner bound")
+def run(trials: int = 12, step: float = 0.3, seed: int = 7) -> ExperimentResult:
+    rng = random.Random(seed)
+    all_ok = True
+
+    lemma1 = Table(
+        title="Lemma 1: |I(o) XOR I(u)| with |ou| <= 1",
+        headers=["probe", "max observed", "bound", "ok"],
+    )
+    max_sym = 0
+    for _ in range(trials):
+        o = Point(0.0, 0.0)
+        u = Point(rng.uniform(0.05, 1.0), 0.0)
+        packing = _random_packing_near([o, u], rng, step)
+        max_sym = max(max_sym, symmetric_difference_count(packing, o, u))
+    ok = max_sym <= 7
+    all_ok = all_ok and ok
+    lemma1.add_row(f"{trials} random packings", max_sym, 7, ok)
+    # The Figure-1 2-star witness: I(o) = 4 interior, I(u1) = 4 cap points,
+    # disjoint, so the symmetric difference hits at least 7 (Lemma 1 is
+    # tight: 8 would contradict it, 7 is achievable).
+    (o, u1), witness = figure1_two_star()
+    sym = symmetric_difference_count(witness, o, u1)
+    ok = sym <= 7
+    all_ok = all_ok and ok
+    lemma1.add_row("Figure 1 witness", sym, 7, ok)
+
+    lemma2 = Table(
+        title="Lemma 2: |(U I(u_j)) \\ I(o)| with premise",
+        headers=["probe", "max (premise held)", "bound", "ok"],
+    )
+    max_l2 = 0
+    applicable = 0
+    for _ in range(trials):
+        o = Point(0.0, 0.0)
+        others = [
+            Point.polar(rng.uniform(0.3, 1.0), rng.uniform(0.0, 6.28))
+            for _ in range(3)
+        ]
+        packing = _random_packing_near([o] + others, rng, step)
+        count, premise = lemma2_quantity(packing, o, others)
+        if premise:
+            applicable += 1
+            max_l2 = max(max_l2, count)
+    ok = max_l2 <= 11
+    all_ok = all_ok and ok
+    lemma2.add_row(f"{applicable}/{trials} probes with premise", max_l2, 11, ok)
+
+    wegner = Table(
+        title="Wegner: points at pairwise distance >= 1 in a radius-2 disk",
+        headers=["method", "count", "bound", "ok"],
+    )
+    hexagonal = hexagonal_points_in_disk(Point(0.0, 0.0), 2.0, 1.0)
+    ok = len(hexagonal) <= WEGNER_RADIUS2_CAPACITY
+    all_ok = all_ok and ok
+    wegner.add_row("hexagonal lattice witness", len(hexagonal), 21, ok)
+    best_grid = 0
+    for _ in range(trials):
+        candidates = disk_candidates(Point(0.0, 0.0), 2.0, step * 0.7)
+        rng.shuffle(candidates)
+        # Wegner uses distance >= 1 (not > 1): shrink by an epsilon so the
+        # strict-independence machinery applies.
+        found = greedy_independent_subset(
+            [p * 0.999 for p in candidates], key=lambda q: 0.0
+        )
+        best_grid = max(best_grid, len(found))
+    ok = best_grid <= WEGNER_RADIUS2_CAPACITY
+    all_ok = all_ok and ok
+    wegner.add_row(f"grid search ({trials} shuffles)", best_grid, 21, ok)
+
+    return ExperimentResult(
+        experiment_id="LEM",
+        title="Packing lemmas",
+        tables=[lemma1, lemma2, wegner],
+        passed=all_ok,
+        notes=(
+            "Figures 3-9 of the paper are proof illustrations for these "
+            "lemmas; the checks here are their numerical counterparts."
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Experiment T6 — Theorem 6 neighborhood packing for connected sets.
+
+Two instance families probe ``|I(V)| <= 11n/3 + 1``:
+
+* the paper's own worst-case family — unit-spaced chains, where the
+  Figure 2 construction achieves ``3(n+1)``;
+* random connected planar sets with grid-search packings.
+
+Pass criterion: nothing exceeds ``11n/3 + 1``; chains achieve exactly
+``3n + 3``.  The gap between ``3n + 3`` and ``11n/3 + 1`` is the
+paper's open conjecture (Section V).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..geometry.constructions import figure2_linear
+from ..geometry.packing import is_independent
+from ..cds.bounds import neighborhood_bound
+from ..analysis.independence import empirical_max_packing, packing_count
+from .harness import ExperimentResult, Table, experiment
+from .instances import connected_planar_sets
+
+__all__ = ["run"]
+
+
+@experiment("T6", "Theorem 6: |I(V)| <= 11n/3 + 1 for connected sets")
+def run(
+    chain_sizes: tuple[int, ...] = (3, 4, 5, 6, 8, 10),
+    random_n: int = 8,
+    random_seeds: int = 4,
+    grid_step: float = 0.22,
+) -> ExperimentResult:
+    chain_table = Table(
+        title="unit chains (Figure 2 family)",
+        headers=["n", "bound 11n/3+1", "construction 3(n+1)", "conjectured max", "holds"],
+    )
+    all_ok = True
+    for n in chain_sizes:
+        centers, witness = figure2_linear(n)
+        assert is_independent(witness)
+        achieved = packing_count(witness, centers)
+        bound = neighborhood_bound(n)
+        holds = achieved <= bound and achieved == 3 * (n + 1)
+        all_ok = all_ok and holds
+        chain_table.add_row(n, f"{float(bound):.2f}", achieved, 3 * (n + 1), holds)
+
+    random_table = Table(
+        title="random connected planar sets (grid-search packings)",
+        headers=["n", "bound 11n/3+1", "best found", "holds"],
+    )
+    side = max(2.0, random_n * 0.45)
+    best_overall = 0
+    for pts in connected_planar_sets(random_n, side, range(random_seeds)):
+        found = empirical_max_packing(pts, step=grid_step)
+        best_overall = max(best_overall, packing_count(found, pts))
+    bound = neighborhood_bound(random_n)
+    holds = Fraction(best_overall) <= bound
+    all_ok = all_ok and holds
+    random_table.add_row(random_n, f"{float(bound):.2f}", best_overall, holds)
+
+    return ExperimentResult(
+        experiment_id="T6",
+        title="Theorem 6 neighborhood packing",
+        tables=[chain_table, random_table],
+        passed=all_ok,
+        notes=(
+            "Chains realize 3(n+1) exactly — the paper's conjectured true "
+            "maximum; the proven bound 11n/3 + 1 leaves a ~2n/3 gap."
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Experiment T3 — Theorem 3 star-neighborhood packing.
+
+For each star size ``n``, three numbers are juxtaposed:
+
+* the paper's bound ``phi_n``;
+* the best packing our constructions achieve (tight for ``n <= 3``:
+  the Figure 1 instances; the pentagon for ``n = 1``);
+* the best packing an empirical search finds over random stars.
+
+Pass criterion: no packing ever exceeds ``phi_n``, and the tight
+constructions achieve ``phi_n`` exactly for ``n = 1, 2, 3``.
+"""
+
+from __future__ import annotations
+
+from ..geometry.constructions import (
+    figure1_three_star,
+    figure1_two_star,
+    one_star_packing,
+)
+from ..geometry.packing import is_independent, phi
+from ..analysis.independence import empirical_max_packing, packing_count
+from .harness import ExperimentResult, Table, experiment
+from .instances import random_star
+
+__all__ = ["run"]
+
+
+@experiment("T3", "Theorem 3: |I(S)| <= phi_n for n-stars")
+def run(max_n: int = 6, seeds_per_n: int = 5, grid_step: float = 0.2) -> ExperimentResult:
+    table = Table(
+        title="star-neighborhood packing vs phi_n",
+        headers=["n", "phi_n", "tight construction", "search (random stars)", "bound holds"],
+    )
+    tight = {
+        1: one_star_packing,
+        2: figure1_two_star,
+        3: figure1_three_star,
+    }
+    all_ok = True
+    for n in range(1, max_n + 1):
+        construction = "-"
+        if n in tight:
+            star, witness = tight[n]()
+            assert is_independent(witness)
+            achieved = packing_count(witness, star)
+            construction = str(achieved)
+            if achieved != phi(n):
+                all_ok = False
+        best_search = 0
+        for seed in range(seeds_per_n):
+            star = random_star(n, seed)
+            found = empirical_max_packing(star, step=grid_step)
+            best_search = max(best_search, packing_count(found, star))
+        holds = best_search <= phi(n) and (construction == "-" or int(construction) <= phi(n))
+        all_ok = all_ok and holds
+        table.add_row(n, phi(n), construction, best_search, holds)
+    return ExperimentResult(
+        experiment_id="T3",
+        title="Theorem 3 star packing",
+        tables=[table],
+        passed=all_ok,
+        notes=(
+            "phi_n = 3n+2 (n<=2), min(3n+3, 21) (n>=3). Constructions from "
+            "Figure 1 meet the bound exactly for n <= 3 (tightness); grid "
+            "search on random stars stays below it."
+        ),
+    )

@@ -1,0 +1,204 @@
+"""Tightness constructions from Section V (Figures 1 and 2).
+
+The paper shows its star-packing bound ``phi_n`` is tight for
+``n <= 3`` with an explicit instance (Figure 1): the neighborhood of a
+2-star holds 8 independent points and that of a 3-star holds 12.
+Figure 2 generalizes it: the neighborhood of ``n >= 3`` collinear points
+with consecutive distance one holds ``3(n + 1)`` independent points —
+the instance behind the paper's "ratio 6 / 5.5" conjecture.
+
+Every function returns ``(centers, independent_points)`` where
+``centers`` is the star / chain and ``independent_points`` achieves the
+stated packing number.  The perturbation parameters default to values
+with comfortable floating-point margins; the invariants (independence,
+containment in the neighborhood) are enforced at construction time, so
+a bad parameter choice fails loudly rather than silently producing a
+broken witness.
+
+Geometry of the construction (matching the paper's Figure 1):
+
+* interior "mid" points ``v_i`` sit near the midpoints of consecutive
+  centers, nudged off the axis by ``eps``;
+* "top"/"bottom" rows sit near the topmost/bottommost points of the
+  disks, alternating between heights ``1`` and ``1 - eps`` so adjacent
+  points are at distance ``sqrt(1 + eps^2) > 1``;
+* at each end of the chain, four points ``p, q, q', p'`` sit on the end
+  circle at angles ``±(90° + δ)`` and ``±(30° + δ/3)`` from the outward
+  direction, so all angular gaps on the cap exceed 60° and every chord
+  exceeds one.  Pushing ``p`` *past* the vertical (angle 90° + δ) is
+  what lets four points share the cap; it forces ``δ`` to be tiny
+  relative to ``eps`` (``2 sin δ < eps²``) so that ``p`` stays at
+  distance > 1 from the neighboring top point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .point import Point
+from .disks import in_neighborhood
+from .packing import is_independent
+
+__all__ = [
+    "DEFAULT_EPS",
+    "DEFAULT_DELTA",
+    "one_star_packing",
+    "figure1_two_star",
+    "figure1_three_star",
+    "figure2_linear",
+]
+
+#: Vertical perturbation of the paper's epsilon.
+DEFAULT_EPS: float = 1e-2
+#: Angular perturbation; must satisfy ``2*sin(delta) < eps**2`` with margin.
+DEFAULT_DELTA: float = 2e-5
+
+
+def _validate(
+    centers: Sequence[Point], independent: Sequence[Point], label: str
+) -> None:
+    if not is_independent(independent):
+        raise AssertionError(f"{label}: constructed points are not independent")
+    for p in independent:
+        if not in_neighborhood(p, centers):
+            raise AssertionError(f"{label}: point {p} escapes the neighborhood")
+
+
+def one_star_packing() -> tuple[list[Point], list[Point]]:
+    """A 1-star whose neighborhood holds ``phi_1 = 5`` independent points.
+
+    A regular pentagon on the unit circle: chords are
+    ``2 sin(54°) ≈ 1.176 > 1``.
+    """
+    center = Point(0.0, 0.0)
+    pts = [Point.polar(1.0, 2.0 * math.pi * k / 5.0) for k in range(5)]
+    _validate([center], pts, "one_star_packing")
+    return [center], pts
+
+
+def _cap_points(
+    end: Point, outward_angle: float, delta: float
+) -> list[Point]:
+    """The four cap points ``p, q, q', p'`` on the circle around ``end``.
+
+    Angles are measured from ``outward_angle`` (the direction pointing
+    away from the chain); the four points sit at
+    ``+(90° + δ), +(30° + δ/3), −(30° + δ/3), −(90° + δ)`` so the three
+    angular gaps are all ``60° + 2δ/3 > 60°``.
+    """
+    offsets = [
+        math.pi / 2.0 + delta,
+        math.pi / 6.0 + delta / 3.0,
+        -(math.pi / 6.0 + delta / 3.0),
+        -(math.pi / 2.0 + delta),
+    ]
+    return [end + Point.polar(1.0, outward_angle + off) for off in offsets]
+
+
+def figure2_linear(
+    n: int, eps: float = DEFAULT_EPS, delta: float = DEFAULT_DELTA
+) -> tuple[list[Point], list[Point]]:
+    """Figure 2: ``n`` collinear unit-spaced centers, ``3(n+1)`` packing.
+
+    Centers are ``(0,0), (1,0), ..., (n-1,0)``.  The packing consists of
+    a top row of ``n`` points, a bottom row of ``n`` points, a middle
+    row of ``n - 1`` points, and ``2`` extra cap points per end, for a
+    total of ``n + n + (n - 1) + 4 = 3n + 3 = 3(n + 1)``.
+
+    The paper draws separate pictures for even and odd ``n`` because the
+    alternating top-row heights need a parity fix-up at one end when
+    ``n`` is even; we apply the fix-up (one point at height
+    ``1 - 2 eps``) automatically.
+
+    Requires ``n >= 3``; the paper states the bound for this range (the
+    ``n = 3`` instance coincides with the 3-star of Figure 1 up to
+    translation).
+    """
+    if n < 3:
+        raise ValueError("figure2_linear requires n >= 3 (use figure1_* below)")
+    if not (0.0 < eps < 0.1):
+        raise ValueError("eps must be a small positive perturbation")
+    if not (0.0 < 2.0 * math.sin(delta) < eps * eps):
+        raise ValueError("delta must satisfy 2 sin(delta) < eps^2")
+
+    centers = [Point(float(i), 0.0) for i in range(n)]
+    left, right = centers[0], centers[-1]
+
+    # Cap points: p, q on each end; p doubles as the end of the top row
+    # and p' as the end of the bottom row.
+    right_cap = _cap_points(right, 0.0, delta)  # p, q, q', p'
+    left_cap = _cap_points(left, math.pi, delta)
+
+    top = [left_cap[0], right_cap[0]]
+    bottom = [left_cap[3], right_cap[3]]
+    extras = [right_cap[1], right_cap[2], left_cap[1], left_cap[2]]
+
+    # Interior top/bottom rows over centers 1 .. n-2, alternating heights
+    # 1 and 1 - eps; positions adjacent to the end p-points (which sit at
+    # height cos(delta) ≈ 1) must be at the lower height.
+    heights: dict[int, float] = {}
+    for i in range(1, n - 1):
+        heights[i] = 1.0 - eps if i % 2 == 1 else 1.0
+    if n >= 4 and heights[n - 2] == 1.0:
+        # Parity fix-up for even n: drop the last interior point further
+        # so it clears both its interior neighbor and the end p-point.
+        heights[n - 2] = 1.0 - 2.0 * eps
+    for i in range(1, n - 1):
+        top.append(Point(float(i), heights[i]))
+        bottom.append(Point(float(i), -heights[i]))
+
+    # Middle row: near the midpoints of consecutive centers, alternating
+    # sides of the axis.
+    middle = [
+        Point(i + 0.5, eps if i % 2 == 0 else -eps) for i in range(n - 1)
+    ]
+
+    independent = top + bottom + middle + extras
+    assert len(independent) == 3 * n + 3
+    _validate(centers, independent, f"figure2_linear(n={n})")
+    return centers, independent
+
+
+def figure1_three_star(
+    eps: float = DEFAULT_EPS, delta: float = DEFAULT_DELTA
+) -> tuple[list[Point], list[Point]]:
+    """Figure 1 (right): a 3-star whose neighborhood holds 12 points.
+
+    The 3-star is ``{o, u1, u2}`` with ``u1 = (1, 0)`` and
+    ``u2 = -u1`` — equivalently the ``n = 3`` chain of Figure 2
+    translated so the star center ``o`` is at the origin.  Achieves
+    ``phi_3 = 12``.
+    """
+    centers, independent = figure2_linear(3, eps, delta)
+    shift = Point(-1.0, 0.0)
+    centers = [c + shift for c in centers]
+    independent = [p + shift for p in independent]
+    # Present the star as (center, u1, u2) like the paper.
+    o, u1, u2 = centers[1], centers[2], centers[0]
+    return [o, u1, u2], independent
+
+
+def figure1_two_star(
+    eps: float = DEFAULT_EPS, delta: float = DEFAULT_DELTA
+) -> tuple[list[Point], list[Point]]:
+    """Figure 1 (left): a 2-star whose neighborhood holds 8 points.
+
+    The 2-star is ``{o, u1}`` with ``u1 = (1, 0)``.  The packing is the
+    ``I_0 ∪ I_1`` half of the 3-star instance: the four interior points
+    ``v1, w1, v2, w2`` around ``o`` plus the four cap points on
+    ``∂D_{u1}``.  Achieves ``phi_2 = 8``.
+    """
+    if not (0.0 < 2.0 * math.sin(delta) < eps * eps):
+        raise ValueError("delta must satisfy 2 sin(delta) < eps^2")
+    o = Point(0.0, 0.0)
+    u1 = Point(1.0, 0.0)
+    v1 = Point(0.5, eps)
+    w1 = Point(0.0, 1.0 - eps)
+    i0 = [v1, w1, -v1, -w1]
+    i1 = _cap_points(u1, 0.0, delta)
+    centers = [o, u1]
+    independent = i0 + i1
+    assert len(independent) == 8
+    _validate(centers, independent, "figure1_two_star")
+    return centers, independent

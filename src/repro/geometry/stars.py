@@ -1,0 +1,173 @@
+"""Stars and star decompositions (Lemma 4).
+
+A finite planar set ``S`` is a *star* when some ``v in S`` has every
+point of ``S`` within unit distance (``S ⊂ D_v``); a star of k points is
+a *k-star*.  Lemma 4 of the paper proves constructively that every
+connected planar set of at least two points admits a *nontrivial*
+star decomposition — a partition into stars none of which is a
+singleton.  That construction is the engine behind Theorem 6 and both
+approximation-ratio proofs, so we implement it exactly as the inductive
+proof describes and expose validators for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import EPS, Point
+
+__all__ = [
+    "is_star",
+    "star_centers",
+    "star_decomposition",
+    "is_star_decomposition",
+    "is_nontrivial_star_decomposition",
+]
+
+
+def _within_unit(a: Point, b: Point, tol: float = EPS) -> bool:
+    dx, dy = a.x - b.x, a.y - b.y
+    return dx * dx + dy * dy <= (1.0 + tol) * (1.0 + tol)
+
+
+def star_centers(points: Sequence[Point], tol: float = EPS) -> list[Point]:
+    """All points ``v`` of the set with the whole set inside ``D_v``."""
+    return [
+        v
+        for v in points
+        if all(_within_unit(v, p, tol) for p in points)
+    ]
+
+
+def is_star(points: Sequence[Point], tol: float = EPS) -> bool:
+    """Whether the (non-empty) set is a star."""
+    if not points:
+        return False
+    return bool(star_centers(points, tol))
+
+
+def _unit_adjacency(points: Sequence[Point], tol: float) -> dict[Point, set[Point]]:
+    """Adjacency of the unit-disk graph induced by ``points``."""
+    adj: dict[Point, set[Point]] = {p: set() for p in points}
+    pts = list(points)
+    for i in range(len(pts)):
+        for j in range(i + 1, len(pts)):
+            if _within_unit(pts[i], pts[j], tol):
+                adj[pts[i]].add(pts[j])
+                adj[pts[j]].add(pts[i])
+    return adj
+
+
+def _components(
+    nodes: set[Point], adj: dict[Point, set[Point]]
+) -> list[list[Point]]:
+    """Connected components of the sub-UDG induced by ``nodes``."""
+    seen: set[Point] = set()
+    comps: list[list[Point]] = []
+    for start in sorted(nodes):
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        comp = [start]
+        while stack:
+            u = stack.pop()
+            for w in adj[u]:
+                if w in nodes and w not in seen:
+                    seen.add(w)
+                    comp.append(w)
+                    stack.append(w)
+        comps.append(comp)
+    return comps
+
+
+def star_decomposition(
+    points: Sequence[Point], tol: float = EPS
+) -> list[list[Point]]:
+    """A nontrivial star decomposition of a connected planar set.
+
+    Implements the inductive construction from the proof of Lemma 4:
+
+    * two points: the set itself is a star;
+    * otherwise remove an arbitrary point ``v``, recursively decompose
+      every non-singleton component of the remainder, and then either
+      (case 1) group ``v`` with all singleton components — all of which
+      are adjacent to ``v`` — or (case 2, no singleton components)
+      attach ``v`` to the star containing one of its neighbors ``u``:
+      if that star fits in ``D_u`` then ``v`` simply joins it; otherwise
+      the star has at least three points and ``u`` is peeled off to form
+      the pair ``{u, v}``.
+
+    Raises:
+        ValueError: if the set has fewer than two points or its induced
+            unit-disk graph is disconnected.
+    """
+    pts = list(dict.fromkeys(points))  # deduplicate, preserve order
+    if len(pts) < 2:
+        raise ValueError("star decomposition requires at least two points")
+    adj = _unit_adjacency(pts, tol)
+    if len(_components(set(pts), adj)) != 1:
+        raise ValueError("point set must induce a connected unit-disk graph")
+    return _decompose(pts, adj, tol)
+
+
+def _decompose(
+    pts: list[Point], adj: dict[Point, set[Point]], tol: float
+) -> list[list[Point]]:
+    n = len(pts)
+    if n == 2:
+        return [list(pts)]
+    node_set = set(pts)
+    v = pts[0]
+    remaining = node_set - {v}
+    comps = _components(remaining, adj)
+    singletons = [c[0] for c in comps if len(c) == 1]
+    stars: list[list[Point]] = []
+    for comp in comps:
+        if len(comp) >= 2:
+            stars.extend(_decompose(comp, adj, tol))
+
+    if singletons:
+        # Case 1: all singleton components are neighbors of v (the set was
+        # connected); they form a star centered at v together with v.
+        stars.append([v] + singletons)
+        return stars
+
+    # Case 2: every component is non-singleton and already decomposed.
+    u = min(adj[v] & remaining)
+    star_with_u = next(s for s in stars if u in s)
+    if all(_within_unit(u, w, tol) for w in star_with_u):
+        # The star fits inside D_u, so v (a neighbor of u) can join it
+        # with u as the witness center.
+        star_with_u.append(v)
+    else:
+        # |star| >= 3; peel u off (the remaining points still share the
+        # original center) and pair it with v.
+        star_with_u.remove(u)
+        stars.append([u, v])
+    return stars
+
+
+def is_star_decomposition(
+    partition: Sequence[Sequence[Point]],
+    points: Sequence[Point],
+    tol: float = EPS,
+) -> bool:
+    """Whether ``partition`` partitions ``points`` into stars."""
+    flat: list[Point] = [p for part in partition for p in part]
+    if len(flat) != len(set(flat)):
+        return False
+    if set(flat) != set(points):
+        return False
+    return all(is_star(part, tol) for part in partition)
+
+
+def is_nontrivial_star_decomposition(
+    partition: Sequence[Sequence[Point]],
+    points: Sequence[Point],
+    tol: float = EPS,
+) -> bool:
+    """A star decomposition with no singleton star (Lemma 4's guarantee)."""
+    return is_star_decomposition(partition, points, tol) and all(
+        len(part) >= 2 for part in partition
+    )

@@ -1,0 +1,84 @@
+"""Graph substrate: graphs, UDG builders, generators, validators."""
+
+from .graph import Graph
+from .components import UnionFind
+from .traversal import (
+    BFSTree,
+    bfs_order,
+    bfs_tree,
+    dfs_tree,
+    connected_components,
+    eccentricity,
+    induced_is_connected,
+    is_connected,
+    shortest_path_lengths,
+)
+from .udg import (
+    communication_radius_graph,
+    quasi_unit_disk_graph,
+    unit_disk_graph,
+    unit_disk_graph_naive,
+)
+from .generators import (
+    chain_points,
+    clustered_points,
+    corridor_points,
+    largest_component_udg,
+    perturbed_grid_points,
+    random_connected_udg,
+    uniform_disk_points,
+    uniform_points,
+)
+from .properties import (
+    has_two_hop_separation,
+    is_connected_dominating_set,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    undominated_nodes,
+)
+from .metrics import TopologyStats, clustering_coefficient, graph_diameter, topology_stats
+from .mobility import MobilityModel, RandomWalk, RandomWaypoint, topology_events
+from .convert import from_networkx, to_networkx
+
+__all__ = [
+    "Graph",
+    "UnionFind",
+    "BFSTree",
+    "bfs_order",
+    "bfs_tree",
+    "dfs_tree",
+    "connected_components",
+    "eccentricity",
+    "induced_is_connected",
+    "is_connected",
+    "shortest_path_lengths",
+    "communication_radius_graph",
+    "quasi_unit_disk_graph",
+    "unit_disk_graph",
+    "unit_disk_graph_naive",
+    "chain_points",
+    "clustered_points",
+    "corridor_points",
+    "largest_component_udg",
+    "perturbed_grid_points",
+    "random_connected_udg",
+    "uniform_disk_points",
+    "uniform_points",
+    "has_two_hop_separation",
+    "is_connected_dominating_set",
+    "is_dominating_set",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "undominated_nodes",
+    "from_networkx",
+    "to_networkx",
+    "TopologyStats",
+    "clustering_coefficient",
+    "graph_diameter",
+    "topology_stats",
+    "MobilityModel",
+    "RandomWalk",
+    "RandomWaypoint",
+    "topology_events",
+]

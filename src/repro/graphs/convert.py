@@ -1,0 +1,42 @@
+"""Interop with networkx.
+
+The library's algorithms run on :class:`repro.graphs.Graph`; networkx
+is used only for cross-validation in tests (connectivity, domination,
+independence) and for users who want to feed results into the wider
+Python graph ecosystem.  The import is deferred so the core library
+works without networkx installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, TypeVar
+
+from .graph import Graph
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph[N]) -> Any:
+    """Convert to ``networkx.Graph`` (nodes and edges only)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph: Any) -> Graph[Any]:
+    """Convert from any undirected ``networkx`` graph.
+
+    Edge data is discarded; multi-edges collapse; self-loops are
+    rejected (the UDG model has none).
+    """
+    graph: Graph[Any] = Graph()
+    for node in nx_graph.nodes():
+        graph.add_node(node)
+    for u, v in nx_graph.edges():
+        graph.add_edge(u, v)
+    return graph

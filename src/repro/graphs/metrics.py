@@ -1,0 +1,98 @@
+"""Topology statistics for experiment reporting.
+
+Degree profiles, diameter, and clustering coefficients of deployments —
+the columns that situate an instance family (sparse corridor vs dense
+cluster) in the comparison tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, TypeVar
+
+from .graph import Graph
+from .traversal import bfs_tree, is_connected
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["TopologyStats", "topology_stats", "graph_diameter", "clustering_coefficient"]
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Summary statistics of one topology."""
+
+    nodes: int
+    edges: int
+    min_degree: int
+    mean_degree: float
+    max_degree: int
+    diameter: int
+    clustering: float
+
+    def row(self) -> tuple:
+        """The tuple the experiment tables print."""
+        return (
+            self.nodes,
+            self.edges,
+            f"{self.mean_degree:.1f}",
+            self.max_degree,
+            self.diameter,
+            f"{self.clustering:.2f}",
+        )
+
+
+def graph_diameter(graph: Graph[N]) -> int:
+    """Exact hop diameter of a connected graph.
+
+    All-pairs via one BFS per node — `O(n(n+m))`, fine for experiment
+    sizes.  Raises on disconnected input (the diameter is infinite).
+    """
+    if not is_connected(graph):
+        raise ValueError("diameter of a disconnected graph is infinite")
+    best = 0
+    for v in graph:
+        depth = bfs_tree(graph, v).depth
+        best = max(best, max(depth.values()))
+    return best
+
+
+def clustering_coefficient(graph: Graph[N]) -> float:
+    """Mean local clustering coefficient.
+
+    For each node with degree >= 2: closed neighbor pairs / all neighbor
+    pairs; nodes of degree < 2 contribute 0 (the networkx convention,
+    against which the tests cross-validate).
+    """
+    if len(graph) == 0:
+        return 0.0
+    total = 0.0
+    for v in graph:
+        nbrs = graph.neighbors(v)
+        k = len(nbrs)
+        if k < 2:
+            continue
+        links = 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                if graph.has_edge(nbrs[i], nbrs[j]):
+                    links += 1
+        total += 2.0 * links / (k * (k - 1))
+    return total / len(graph)
+
+
+def topology_stats(graph: Graph[N]) -> TopologyStats:
+    """Compute the full summary for a connected topology."""
+    n = len(graph)
+    if n == 0:
+        raise ValueError("empty graph has no statistics")
+    degrees = [graph.degree(v) for v in graph]
+    return TopologyStats(
+        nodes=n,
+        edges=graph.edge_count(),
+        min_degree=min(degrees),
+        mean_degree=sum(degrees) / n,
+        max_degree=max(degrees),
+        diameter=graph_diameter(graph) if is_connected(graph) else -1,
+        clustering=clustering_coefficient(graph),
+    )

@@ -1,0 +1,189 @@
+"""Mobility models for wireless ad hoc networks.
+
+The deployments elsewhere in the library are static snapshots; this
+module generates *trajectories* so the dynamic-maintenance and
+robustness experiments can exercise position-driven topology churn
+(edges appearing and disappearing while the node set stays fixed).
+
+Two standard models:
+
+* **random waypoint** — each node repeatedly picks a uniform waypoint
+  in the field and moves toward it at a per-leg uniform speed, pausing
+  between legs;
+* **random walk** — each node takes a bounded random step per tick,
+  reflecting off the field boundary.
+
+Both are seeded and yield per-tick position maps; feed consecutive
+snapshots to :func:`topology_events` to get the edge delta, or to
+:class:`repro.cds.maintenance.DynamicCDS.move_node` to maintain a
+backbone across motion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..geometry.point import Point
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypoint",
+    "RandomWalk",
+    "topology_events",
+]
+
+
+@dataclass(frozen=True)
+class _Leg:
+    """One movement leg of a waypoint node."""
+
+    target: Point
+    speed: float
+    pause_left: float
+
+
+class MobilityModel:
+    """Base: iterate position snapshots for a fixed node population."""
+
+    def __init__(self, positions: dict[Hashable, Point], side: float, seed: int = 0):
+        if side <= 0.0:
+            raise ValueError("field side must be positive")
+        for node, p in positions.items():
+            if not (0.0 <= p.x <= side and 0.0 <= p.y <= side):
+                raise ValueError(f"node {node!r} starts outside the field")
+        self.positions = dict(positions)
+        self.side = side
+        self.rng = random.Random(seed)
+
+    def step(self, dt: float = 1.0) -> dict[Hashable, Point]:
+        """Advance all nodes by ``dt`` and return the new snapshot."""
+        raise NotImplementedError
+
+    def snapshots(self, steps: int, dt: float = 1.0) -> Iterator[dict[Hashable, Point]]:
+        """Yield ``steps`` successive snapshots (after each step)."""
+        for _ in range(steps):
+            yield self.step(dt)
+
+    def _clamp(self, p: Point) -> Point:
+        return Point(min(max(p.x, 0.0), self.side), min(max(p.y, 0.0), self.side))
+
+
+class RandomWaypoint(MobilityModel):
+    """The random waypoint model.
+
+    Args:
+        positions: initial node positions inside the field.
+        side: field side length.
+        speed_range: (min, max) speed per leg.
+        pause_range: (min, max) pause after reaching a waypoint.
+        seed: RNG seed (model is fully deterministic given it).
+    """
+
+    def __init__(
+        self,
+        positions: dict[Hashable, Point],
+        side: float,
+        speed_range: tuple[float, float] = (0.05, 0.3),
+        pause_range: tuple[float, float] = (0.0, 2.0),
+        seed: int = 0,
+    ):
+        super().__init__(positions, side, seed)
+        if not (0.0 < speed_range[0] <= speed_range[1]):
+            raise ValueError("speeds must be positive and ordered")
+        self.speed_range = speed_range
+        self.pause_range = pause_range
+        self._legs: dict[Hashable, _Leg] = {
+            node: self._new_leg() for node in self.positions
+        }
+
+    def _new_leg(self) -> _Leg:
+        return _Leg(
+            target=Point(
+                self.rng.uniform(0.0, self.side), self.rng.uniform(0.0, self.side)
+            ),
+            speed=self.rng.uniform(*self.speed_range),
+            pause_left=0.0,
+        )
+
+    def step(self, dt: float = 1.0) -> dict[Hashable, Point]:
+        for node in self.positions:
+            leg = self._legs[node]
+            if leg.pause_left > 0.0:
+                self._legs[node] = _Leg(leg.target, leg.speed, leg.pause_left - dt)
+                continue
+            here = self.positions[node]
+            to_target = leg.target - here
+            dist = to_target.norm()
+            travel = leg.speed * dt
+            if travel >= dist:
+                self.positions[node] = leg.target
+                pause = self.rng.uniform(*self.pause_range)
+                fresh = self._new_leg()
+                self._legs[node] = _Leg(fresh.target, fresh.speed, pause)
+            else:
+                self.positions[node] = here + to_target * (travel / dist)
+        return dict(self.positions)
+
+
+class RandomWalk(MobilityModel):
+    """Bounded random steps with boundary reflection."""
+
+    def __init__(
+        self,
+        positions: dict[Hashable, Point],
+        side: float,
+        step_size: float = 0.2,
+        seed: int = 0,
+    ):
+        super().__init__(positions, side, seed)
+        if step_size <= 0.0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+
+    def step(self, dt: float = 1.0) -> dict[Hashable, Point]:
+        for node, here in self.positions.items():
+            angle = self.rng.uniform(0.0, 6.283185307179586)
+            moved = here + Point.polar(self.step_size * dt, angle)
+            # Reflect off the walls.
+            x, y = moved.x, moved.y
+            if x < 0.0:
+                x = -x
+            if x > self.side:
+                x = 2.0 * self.side - x
+            if y < 0.0:
+                y = -y
+            if y > self.side:
+                y = 2.0 * self.side - y
+            self.positions[node] = self._clamp(Point(x, y))
+        return dict(self.positions)
+
+
+def topology_events(
+    before: dict[Hashable, Point],
+    after: dict[Hashable, Point],
+    radius: float = 1.0,
+) -> tuple[list[tuple[Hashable, Hashable]], list[tuple[Hashable, Hashable]]]:
+    """Edge delta between two snapshots of the same node set.
+
+    Returns ``(appeared, disappeared)`` edge lists, each edge as an
+    ordered pair ``(u, v)`` with ``u < v`` by node order.
+
+    Raises:
+        ValueError: if the snapshots have different node sets.
+    """
+    if set(before) != set(after):
+        raise ValueError("snapshots must cover the same nodes")
+    nodes = sorted(before)
+    appeared: list[tuple[Hashable, Hashable]] = []
+    disappeared: list[tuple[Hashable, Hashable]] = []
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            was = before[u].distance_to(before[v]) <= radius
+            now = after[u].distance_to(after[v]) <= radius
+            if now and not was:
+                appeared.append((u, v))
+            elif was and not now:
+                disappeared.append((u, v))
+    return appeared, disappeared

@@ -1,0 +1,142 @@
+"""Unit-disk graphs.
+
+The communication topology of a wireless ad hoc network with all
+transmission radii normalized to one: nodes are planar points, and two
+nodes are adjacent iff their Euclidean distance is at most one
+(Section I of the paper).
+
+Two builders are provided: the obvious quadratic one and a
+grid-bucketed one that only tests pairs in neighboring buckets —
+expected linear time for bounded-density deployments, which is what
+makes the larger benchmark sweeps feasible.  A quasi-UDG variant
+(edges certain below an inner radius, absent above 1, arbitrary —
+here: pseudorandom — in between) is included for robustness
+experiments, since real radios are not perfect disks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..geometry.point import EPS, Point
+from .graph import Graph
+
+__all__ = [
+    "unit_disk_graph",
+    "unit_disk_graph_naive",
+    "quasi_unit_disk_graph",
+    "communication_radius_graph",
+]
+
+
+def unit_disk_graph_naive(
+    points: Sequence[Point], radius: float = 1.0, tol: float = EPS
+) -> Graph[Point]:
+    """UDG by testing all pairs.  O(n^2); the reference implementation."""
+    graph: Graph[Point] = Graph(nodes=points)
+    r_sq = (radius + tol) * (radius + tol)
+    pts = list(points)
+    for i in range(len(pts)):
+        pi = pts[i]
+        for j in range(i + 1, len(pts)):
+            pj = pts[j]
+            dx, dy = pi.x - pj.x, pi.y - pj.y
+            if dx * dx + dy * dy <= r_sq:
+                graph.add_edge(pi, pj)
+    return graph
+
+
+def unit_disk_graph(
+    points: Sequence[Point], radius: float = 1.0, tol: float = EPS
+) -> Graph[Point]:
+    """UDG via grid bucketing: only pairs in adjacent buckets are tested.
+
+    Buckets have side ``radius``, so any edge's endpoints lie in the
+    same or neighboring buckets.  Produces a graph identical to
+    :func:`unit_disk_graph_naive` (tests assert this); expected time is
+    linear in ``n`` for bounded density.
+
+    Duplicate points are rejected: two radios at the same coordinates
+    would be a single node in the UDG model and silently merging them
+    corrupts size accounting.
+    """
+    pts = list(points)
+    if len(set(pts)) != len(pts):
+        raise ValueError("duplicate points in UDG input")
+    graph: Graph[Point] = Graph(nodes=pts)
+    if radius <= 0.0:
+        return graph
+    r_sq = (radius + tol) * (radius + tol)
+    buckets: dict[tuple[int, int], list[Point]] = {}
+    for p in pts:
+        key = (int(math.floor(p.x / radius)), int(math.floor(p.y / radius)))
+        buckets.setdefault(key, []).append(p)
+    for (bx, by), cell in buckets.items():
+        # Within-cell pairs.
+        for i in range(len(cell)):
+            for j in range(i + 1, len(cell)):
+                dx, dy = cell[i].x - cell[j].x, cell[i].y - cell[j].y
+                if dx * dx + dy * dy <= r_sq:
+                    graph.add_edge(cell[i], cell[j])
+        # Cross-cell pairs: scan half the neighbors to visit each
+        # unordered cell pair once.
+        for ox, oy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+            other = buckets.get((bx + ox, by + oy))
+            if not other:
+                continue
+            for p in cell:
+                for q in other:
+                    dx, dy = p.x - q.x, p.y - q.y
+                    if dx * dx + dy * dy <= r_sq:
+                        graph.add_edge(p, q)
+    return graph
+
+
+def communication_radius_graph(
+    points: Sequence[Point], radius: float
+) -> Graph[Point]:
+    """UDG with an explicit (non-unit) communication radius.
+
+    Equivalent to rescaling coordinates; provided because the examples
+    speak in meters rather than normalized units.
+    """
+    return unit_disk_graph(points, radius=radius)
+
+
+def quasi_unit_disk_graph(
+    points: Sequence[Point],
+    inner_radius: float = 0.75,
+    outer_radius: float = 1.0,
+    seed: int = 0,
+) -> Graph[Point]:
+    """A quasi-UDG: edges certain up to ``inner_radius``, impossible
+    beyond ``outer_radius``, and decided pseudo-randomly in between.
+
+    The in-between coin is a deterministic hash of the endpoint
+    coordinates and ``seed``, so the same inputs always give the same
+    topology.  Used by the robustness experiments: the paper's
+    guarantees assume an ideal UDG, and this lets us measure how the
+    algorithms degrade when that assumption is violated.
+    """
+    if not (0.0 < inner_radius <= outer_radius):
+        raise ValueError("need 0 < inner_radius <= outer_radius")
+    graph: Graph[Point] = Graph(nodes=points)
+    pts = list(points)
+    inner_sq = inner_radius * inner_radius
+    outer_sq = (outer_radius + EPS) * (outer_radius + EPS)
+    for i in range(len(pts)):
+        pi = pts[i]
+        for j in range(i + 1, len(pts)):
+            pj = pts[j]
+            dx, dy = pi.x - pj.x, pi.y - pj.y
+            d_sq = dx * dx + dy * dy
+            if d_sq > outer_sq:
+                continue
+            if d_sq <= inner_sq:
+                graph.add_edge(pi, pj)
+                continue
+            coin = hash((round(pi.x, 9), round(pi.y, 9), round(pj.x, 9), round(pj.y, 9), seed))
+            if coin % 2 == 0:
+                graph.add_edge(pi, pj)
+    return graph

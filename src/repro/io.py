@@ -1,0 +1,105 @@
+"""Persistence: deployments and CDS results on disk.
+
+A downstream user wants to pin down the exact instance a result came
+from.  Deployments (point sets) are stored as two-column CSV; results
+as JSON carrying the algorithm label, the node set and the phase split.
+Round-tripping is exact: coordinates are written with ``repr`` so
+``float`` survives bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .geometry.point import Point
+from .cds.base import CDSResult
+
+__all__ = [
+    "save_points",
+    "load_points",
+    "save_result",
+    "load_result",
+]
+
+
+def save_points(points: Iterable[Point], path: str | Path) -> None:
+    """Write a deployment as ``x,y`` CSV (with header)."""
+    lines = ["x,y"]
+    for p in points:
+        lines.append(f"{p.x!r},{p.y!r}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_points(path: str | Path) -> list[Point]:
+    """Read a deployment written by :func:`save_points`.
+
+    Raises:
+        ValueError: on a malformed file.
+    """
+    text = Path(path).read_text().strip()
+    lines = text.splitlines()
+    if not lines or lines[0].strip().lower() != "x,y":
+        raise ValueError(f"{path}: expected 'x,y' header")
+    points: list[Point] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        parts = line.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{lineno}: expected two columns")
+        try:
+            points.append(Point(float(parts[0]), float(parts[1])))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return points
+
+
+def _point_to_obj(node) -> object:
+    if isinstance(node, Point):
+        return {"x": node.x, "y": node.y}
+    return node
+
+
+def _obj_to_node(obj: object):
+    if isinstance(obj, dict) and set(obj) == {"x", "y"}:
+        return Point(float(obj["x"]), float(obj["y"]))
+    if isinstance(obj, list):  # JSON has no tuples
+        return tuple(obj)
+    return obj
+
+
+def save_result(result: CDSResult, path: str | Path) -> None:
+    """Write a :class:`CDSResult` as JSON.
+
+    ``meta`` is stored only where JSON-serializable; unserializable
+    entries are dropped (they are run diagnostics, not results).
+    """
+    meta = {}
+    for key, value in result.meta.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        meta[key] = value
+    payload = {
+        "algorithm": result.algorithm,
+        "nodes": [_point_to_obj(v) for v in sorted(result.nodes)],
+        "dominators": [_point_to_obj(v) for v in result.dominators],
+        "connectors": [_point_to_obj(v) for v in result.connectors],
+        "meta": meta,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_result(path: str | Path) -> CDSResult:
+    """Read a result written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    return CDSResult(
+        algorithm=payload["algorithm"],
+        nodes=frozenset(_obj_to_node(v) for v in payload["nodes"]),
+        dominators=tuple(_obj_to_node(v) for v in payload["dominators"]),
+        connectors=tuple(_obj_to_node(v) for v in payload["connectors"]),
+        meta=dict(payload.get("meta", {})),
+    )

@@ -1,0 +1,104 @@
+"""Exact maximum independent set — the independence number ``alpha(G)``.
+
+Corollary 7 relates ``alpha(G)`` to ``gamma_c(G)``; to *verify* it
+empirically we need the true independence number of sampled UDGs, not a
+heuristic MIS.  This is NP-hard in general, so the solver is a plain
+branch-and-bound intended for the experiment sizes (tens of nodes):
+
+* branch on a highest-degree vertex of the residual graph (take it and
+  delete ``N[v]``, or discard it);
+* greedy-clique-cover upper bound for pruning;
+* isolated and degree-1 vertices are taken eagerly (both are safe
+  reductions for maximum independent set).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, TypeVar
+
+from ..graphs.graph import Graph
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["maximum_independent_set", "independence_number"]
+
+
+def _reductions(graph: Graph[N], chosen: list[N]) -> None:
+    """Apply safe reductions in place: take isolated and degree-1 nodes.
+
+    For a degree-1 node ``v`` with neighbor ``u``, some maximum
+    independent set contains ``v`` (swap ``u`` out for ``v``).
+    """
+    changed = True
+    while changed:
+        changed = False
+        for v in graph.nodes():
+            if v not in graph:  # removed earlier in this pass
+                continue
+            deg = graph.degree(v)
+            if deg == 0:
+                chosen.append(v)
+                graph.remove_node(v)
+                changed = True
+            elif deg == 1:
+                u = graph.neighbors(v)[0]
+                chosen.append(v)
+                graph.remove_node(u)
+                graph.remove_node(v)
+                changed = True
+
+
+def _clique_cover_bound(graph: Graph[N]) -> int:
+    """Number of cliques in a greedy clique cover — an upper bound on
+    the independence number of the residual graph."""
+    uncovered = set(graph.nodes())
+    cliques = 0
+    while uncovered:
+        v = next(iter(uncovered))
+        clique = {v}
+        candidates = graph.neighbor_set(v) & uncovered
+        while candidates:
+            u = next(iter(candidates))
+            clique.add(u)
+            candidates &= graph.neighbor_set(u)
+        uncovered -= clique
+        cliques += 1
+    return cliques
+
+
+def maximum_independent_set(graph: Graph[N]) -> list[N]:
+    """A maximum independent set, by branch and bound.
+
+    Exact; exponential worst case.  Comfortable for the sizes the
+    Corollary 7 experiments use (n up to ~60 on sparse UDGs).
+    """
+    best: list[N] = []
+
+    def solve(g: Graph[N], chosen: list[N]) -> None:
+        nonlocal best
+        _reductions(g, chosen)
+        if len(g) == 0:
+            if len(chosen) > len(best):
+                best = list(chosen)
+            return
+        if len(chosen) + _clique_cover_bound(g) <= len(best):
+            return
+        v = max(g.nodes(), key=g.degree)
+        # Branch 1: take v.
+        g1 = g.copy()
+        for u in g1.neighbors(v):
+            g1.remove_node(u)
+        g1.remove_node(v)
+        solve(g1, chosen + [v])
+        # Branch 2: discard v.
+        g2 = g.copy()
+        g2.remove_node(v)
+        solve(g2, chosen)
+
+    solve(graph.copy(), [])
+    return best
+
+
+def independence_number(graph: Graph[N]) -> int:
+    """``alpha(G)``: the size of a maximum independent set."""
+    return len(maximum_independent_set(graph))

@@ -1,0 +1,105 @@
+"""Phase 1 of the two-phased framework: BFS first-fit MIS.
+
+Both the WAF algorithm [10] (Section III) and the paper's new algorithm
+(Section IV) select the dominating set the same way: fix an arbitrary
+rooted spanning tree ``T`` of ``G`` and pick a maximal independent set
+in the *first-fit manner in the breadth-first-search ordering* of ``T``.
+
+The MIS produced this way has the 2-hop separation property: every
+selected node (after the first) is exactly two hops from some earlier
+selected node.  That property is what Lemma 9 leans on — while the
+dominators induce more than one component, some single node is adjacent
+to at least two of those components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence, TypeVar
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import BFSTree, bfs_tree, dfs_tree
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["FirstFitMIS", "first_fit_mis", "first_fit_mis_in_order"]
+
+
+@dataclass(frozen=True)
+class FirstFitMIS(Sequence):
+    """The MIS selected by phase 1, with its provenance.
+
+    Attributes:
+        nodes: selected independent nodes, in selection order.
+        tree: the rooted BFS tree whose ordering drove the selection
+            (also the tree the WAF connector phase takes parents from).
+    """
+
+    nodes: tuple
+    tree: BFSTree
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, index):
+        return self.nodes[index]
+
+    def __contains__(self, node) -> bool:
+        return node in set(self.nodes)
+
+    def as_set(self) -> set:
+        return set(self.nodes)
+
+
+def first_fit_mis_in_order(graph: Graph[N], order: Sequence[N]) -> list[N]:
+    """First-fit MIS over an explicit node ordering.
+
+    Scans ``order`` and keeps each node none of whose neighbors was
+    already kept.  ``order`` must cover every node of the graph for the
+    result to be maximal (the callers guarantee this).
+    """
+    chosen: list[N] = []
+    chosen_set: set[N] = set()
+    for v in order:
+        if any(u in chosen_set for u in graph.neighbors(v)):
+            continue
+        chosen.append(v)
+        chosen_set.add(v)
+    return chosen
+
+
+def first_fit_mis(
+    graph: Graph[N], root: N | None = None, tree_kind: str = "bfs"
+) -> FirstFitMIS:
+    """Tree-order first-fit MIS of a connected graph.
+
+    ``root`` defaults to the smallest node (a deterministic "leader").
+    The root is always selected (it is first in its own traversal
+    order), so the returned MIS contains the leader — matching [10],
+    where the leader initiates both phases.
+
+    ``tree_kind`` selects the spanning tree whose visit order drives
+    the first fit: ``"bfs"`` (the choice of [10]'s distributed
+    implementation and the default everywhere) or ``"dfs"`` (Section
+    III only requires an *arbitrary* rooted spanning tree; the ablation
+    benchmarks compare the two).  Either order guarantees that every
+    non-root node's parent is visited earlier, which is what the WAF
+    connector correctness argument needs.
+
+    Raises:
+        ValueError: if the graph is empty or not connected (the
+            two-phased framework is defined on connected topologies),
+            or on an unknown ``tree_kind``.
+    """
+    if len(graph) == 0:
+        raise ValueError("first_fit_mis requires a non-empty graph")
+    if tree_kind not in ("bfs", "dfs"):
+        raise ValueError(f"unknown tree_kind {tree_kind!r}")
+    if root is None:
+        root = min(graph.nodes())
+    builder = bfs_tree if tree_kind == "bfs" else dfs_tree
+    tree = builder(graph, root)
+    if len(tree.order) != len(graph):
+        raise ValueError("graph must be connected for the two-phased framework")
+    nodes = first_fit_mis_in_order(graph, tree.order)
+    return FirstFitMIS(nodes=tuple(nodes), tree=tree)

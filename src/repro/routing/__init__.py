@@ -1,0 +1,5 @@
+"""Applications on top of the CDS: backbone routing."""
+
+from .backbone import BackboneRouter
+
+__all__ = ["BackboneRouter"]

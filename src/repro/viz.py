@@ -1,0 +1,98 @@
+"""Terminal rendering of deployments and backbones.
+
+No plotting stack is assumed: deployments are rasterized onto a
+character grid, with roles distinguished by glyph —
+
+* ``D`` — dominator (phase-1 MIS node),
+* ``C`` — connector (phase-2 node),
+* ``o`` — ordinary node,
+* ``*`` — several nodes sharing one cell (the densest role wins).
+
+Used by the examples; also handy in a REPL::
+
+    >>> from repro.viz import render_deployment
+    >>> print(render_deployment(points, result))       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .geometry.point import Point
+from .cds.base import CDSResult
+
+__all__ = ["render_deployment", "render_backbone_legend"]
+
+_ROLE_RANK = {"o": 0, "C": 1, "D": 2}
+
+
+def render_deployment(
+    points: Sequence[Point],
+    result: CDSResult | None = None,
+    width: int = 60,
+    border: bool = True,
+) -> str:
+    """Render a deployment as fixed-width text.
+
+    Args:
+        points: node positions.
+        result: optional CDS whose dominators/connectors get glyphs;
+            when the result has no phase split, all members render ``C``.
+        width: character columns for the field (rows keep aspect ratio;
+            terminal cells are ~2x taller than wide, which the row
+            scaling compensates).
+        border: frame the field.
+
+    Returns:
+        The multi-line string (no trailing newline).
+    """
+    if not points:
+        return "(empty deployment)"
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    dominators = set(result.dominators) if result is not None else set()
+    connectors = set(result.connectors) if result is not None else set()
+    members = set(result.nodes) if result is not None else set()
+
+    min_x = min(p.x for p in points)
+    max_x = max(p.x for p in points)
+    min_y = min(p.y for p in points)
+    max_y = max(p.y for p in points)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    height = max(2, round(width * span_y / span_x / 2.0))
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(p: Point) -> tuple[int, int]:
+        col = round((p.x - min_x) / span_x * (width - 1))
+        row = round((max_y - p.y) / span_y * (height - 1))
+        return row, col
+
+    occupancy: dict[tuple[int, int], int] = {}
+    for p in points:
+        if p in dominators:
+            glyph = "D"
+        elif p in connectors or (p in members and not dominators):
+            glyph = "C"
+        else:
+            glyph = "o"
+        row, col = cell(p)
+        occupancy[(row, col)] = occupancy.get((row, col), 0) + 1
+        current = grid[row][col]
+        if current == " " or _ROLE_RANK.get(glyph, 0) >= _ROLE_RANK.get(current, -1):
+            grid[row][col] = glyph
+    for (row, col), count in occupancy.items():
+        if count > 1 and grid[row][col] == "o":
+            grid[row][col] = "*"
+
+    lines = ["".join(r) for r in grid]
+    if border:
+        top = "+" + "-" * width + "+"
+        lines = [top] + [f"|{line}|" for line in lines] + [top]
+    return "\n".join(lines)
+
+
+def render_backbone_legend() -> str:
+    """The glyph legend used by :func:`render_deployment`."""
+    return "D dominator   C connector   o node   * crowded cell"

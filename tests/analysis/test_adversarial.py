@@ -1,0 +1,55 @@
+"""Tests for the adversarial ratio search."""
+
+import pytest
+
+from repro.analysis import adversarial_ratio_search
+from repro.cds import greedy_connector_cds, waf_cds
+from repro.cds.bounds import greedy_bound_this_paper, waf_bound_this_paper
+from repro.graphs import unit_disk_graph
+from repro.graphs.traversal import is_connected
+
+
+class TestAdversarialSearch:
+    def test_finds_above_unity(self):
+        found = adversarial_ratio_search(10, waf_cds, iterations=40, seed=0)
+        assert found.best_ratio > 1.0
+
+    def test_instance_is_reproducible(self):
+        found = adversarial_ratio_search(10, waf_cds, iterations=40, seed=0)
+        graph = unit_disk_graph(list(found.best_points))
+        assert is_connected(graph)
+        result = waf_cds(graph)
+        assert result.size == found.cds_size
+        from repro.cds import connected_domination_number
+
+        assert connected_domination_number(graph) == found.gamma_c
+        assert found.best_ratio == found.cds_size / found.gamma_c
+
+    def test_never_violates_proven_bounds(self):
+        for algorithm, bound in (
+            (waf_cds, waf_bound_this_paper),
+            (greedy_connector_cds, greedy_bound_this_paper),
+        ):
+            found = adversarial_ratio_search(10, algorithm, iterations=40, seed=1)
+            assert found.cds_size <= float(bound(found.gamma_c))
+
+    def test_deterministic_per_seed(self):
+        a = adversarial_ratio_search(9, waf_cds, iterations=30, seed=5)
+        b = adversarial_ratio_search(9, waf_cds, iterations=30, seed=5)
+        assert a.best_ratio == b.best_ratio
+        assert a.best_points == b.best_points
+
+    def test_beats_or_matches_random_baseline(self):
+        # The search starts from random/chain seeds; its best can only
+        # be >= the best seed's ratio.
+        found = adversarial_ratio_search(10, greedy_connector_cds, iterations=60, seed=2)
+        assert found.best_ratio >= 1.0
+        assert found.iterations == 60
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            adversarial_ratio_search(2, waf_cds)
+
+    def test_algorithm_label_propagated(self):
+        found = adversarial_ratio_search(8, greedy_connector_cds, iterations=20, seed=3)
+        assert found.algorithm == "greedy-connector"

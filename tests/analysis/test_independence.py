@@ -1,0 +1,103 @@
+"""Unit tests for the neighborhood packing counters."""
+
+from repro.analysis import (
+    empirical_max_packing,
+    lemma1_quantity,
+    lemma2_quantity,
+    packing_count,
+    points_near,
+    symmetric_difference_count,
+)
+from repro.geometry import Point, figure1_two_star, is_independent
+
+
+class TestPointsNear:
+    def test_within_unit(self):
+        independent = [Point(0.5, 0), Point(2, 0), Point(0, 0.9)]
+        assert set(points_near(independent, Point(0, 0))) == {
+            Point(0.5, 0),
+            Point(0, 0.9),
+        }
+
+    def test_boundary_included(self):
+        assert points_near([Point(1, 0)], Point(0, 0)) == [Point(1, 0)]
+
+
+class TestPackingCount:
+    def test_counts_union_not_multiset(self):
+        independent = [Point(0.5, 0)]
+        # The point is in both disks; counted once.
+        assert packing_count(independent, [Point(0, 0), Point(1, 0)]) == 1
+
+    def test_figure1(self):
+        centers, witness = figure1_two_star()
+        assert packing_count(witness, centers) == 8
+
+
+class TestSymmetricDifference:
+    def test_disjoint_neighborhoods(self):
+        independent = [Point(0.2, 0), Point(4.8, 0)]
+        assert symmetric_difference_count(independent, Point(0, 0), Point(5, 0)) == 2
+
+    def test_shared_point_cancels(self):
+        independent = [Point(0.5, 0)]
+        assert symmetric_difference_count(independent, Point(0, 0), Point(1, 0)) == 0
+
+    def test_lemma1_alias(self):
+        independent = [Point(0.2, 0)]
+        o, u = Point(0, 0), Point(0.9, 0)
+        assert lemma1_quantity(independent, o, u) == symmetric_difference_count(
+            independent, o, u
+        )
+
+    def test_figure1_achieves_seven_or_less(self):
+        # Lemma 1 tightness probe: the 2-star witness has |I0|=4 around o
+        # and |I1|=4 around u1, overlapping in at least one point.
+        (o, u1), witness = figure1_two_star()
+        assert lemma1_quantity(witness, o, u1) <= 7
+
+
+class TestLemma2Quantity:
+    def test_premise_detection(self):
+        o = Point(0, 0)
+        others = [Point(0.9, 0)]
+        # One independent point near o but not near u1: premise holds.
+        independent = [Point(-0.9, 0)]
+        count, premise = lemma2_quantity(independent, o, others)
+        assert premise
+        assert count == 0
+
+    def test_no_premise_when_covered(self):
+        o = Point(0, 0)
+        others = [Point(0.5, 0)]
+        independent = [Point(0.4, 0)]  # near o AND near u1
+        _, premise = lemma2_quantity(independent, o, others)
+        assert not premise
+
+    def test_count_excludes_I_of_o(self):
+        o = Point(0, 0)
+        others = [Point(1.0, 0)]
+        independent = [Point(1.8, 0), Point(0.3, 0.2)]
+        count, _ = lemma2_quantity(independent, o, others)
+        assert count == 1  # only the far point
+
+
+class TestEmpiricalMaxPacking:
+    def test_independent_and_inside(self):
+        centers = [Point(0, 0), Point(1, 0)]
+        found = empirical_max_packing(centers, step=0.3)
+        assert is_independent(found)
+        from repro.geometry import in_neighborhood
+
+        assert all(in_neighborhood(p, centers) for p in found)
+
+    def test_respects_phi2(self):
+        centers = [Point(0, 0), Point(0.8, 0)]
+        found = empirical_max_packing(centers, step=0.25)
+        assert packing_count(found, centers) <= 8
+
+    def test_exact_mode_on_small_candidate_sets(self):
+        centers = [Point(0, 0)]
+        found = empirical_max_packing(centers, step=0.5, exact_limit=100)
+        assert is_independent(found)
+        assert len(found) <= 5

@@ -1,0 +1,41 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+
+    def test_stdev_sample(self):
+        s = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+        assert math.isclose(s.stdev, 2.138, rel_tol=1e-3)
+
+    def test_singleton(self):
+        s = summarize([5])
+        assert s.stdev == 0.0
+        assert s.ci95_half_width() == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_ci_shrinks_with_count(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0] * 2)
+        assert narrow.ci95_half_width() < wide.ci95_half_width()
+
+    def test_format(self):
+        text = summarize([1, 2, 3]).format(precision=1)
+        assert "2.0" in text and "[1.0, 3.0]" in text
+
+    def test_accepts_any_numeric(self):
+        s = summarize([1, 2.5])
+        assert s.mean == 1.75

@@ -1,0 +1,65 @@
+"""Unit tests for the Das–Bharghavan set-cover baseline."""
+
+import pytest
+
+from repro.baselines import chvatal_dominating_set, das_bharghavan_cds
+from repro.graphs import Graph, is_dominating_set
+
+
+class TestChvatalDominatingSet:
+    def test_dominates(self, udg_suite):
+        for _, g in udg_suite:
+            assert is_dominating_set(g, chvatal_dominating_set(g))
+
+    def test_star_optimal(self, star_graph):
+        assert chvatal_dominating_set(star_graph) == [0]
+
+    def test_greedy_picks_best_cover_first(self, two_triangles_bridge):
+        ds = chvatal_dominating_set(two_triangles_bridge)
+        # Nodes 2 and 3 each cover 4 nodes; the tie-break picks 2 first.
+        assert ds[0] == 2
+
+    def test_not_necessarily_independent(self):
+        # Unlike an MIS, the greedy cover can pick adjacent nodes.
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (4, 6)])
+        ds = chvatal_dominating_set(g)
+        assert is_dominating_set(g, ds)
+
+    def test_path(self, path5):
+        ds = chvatal_dominating_set(path5)
+        assert is_dominating_set(path5, ds)
+        assert len(ds) == 2  # {1, 3} by greedy coverage
+
+
+class TestDasBharghavanCDS:
+    def test_valid_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            assert das_bharghavan_cds(g).is_valid(g)
+
+    def test_phase_split_recorded(self, small_udg):
+        _, g = small_udg
+        result = das_bharghavan_cds(g)
+        assert set(result.dominators) | set(result.connectors) == set(result.nodes)
+        assert is_dominating_set(g, result.dominators)
+
+    def test_single_node(self):
+        assert das_bharghavan_cds(Graph(nodes=[0])).size == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            das_bharghavan_cds(Graph())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            das_bharghavan_cds(Graph(edges=[(0, 1)], nodes=[2]))
+
+    def test_fewer_dominators_than_mis_phase(self, udg_suite):
+        # Set-cover greedy picks at most as many dominators as the MIS
+        # phase on average (it is the better pure-domination heuristic).
+        from repro.mis import first_fit_mis
+
+        total_chvatal = total_mis = 0
+        for _, g in udg_suite:
+            total_chvatal += len(chvatal_dominating_set(g))
+            total_mis += len(first_fit_mis(g))
+        assert total_chvatal <= total_mis

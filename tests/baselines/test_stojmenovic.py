@@ -1,0 +1,47 @@
+"""Unit tests for the Stojmenovic clustering baseline."""
+
+import pytest
+
+from repro.baselines import cluster_heads, stojmenovic_cds
+from repro.graphs import Graph, is_dominating_set, is_independent_set
+
+
+class TestClusterHeads:
+    def test_heads_dominate(self, udg_suite):
+        for _, g in udg_suite:
+            assert is_dominating_set(g, cluster_heads(g))
+
+    def test_heads_independent(self, udg_suite):
+        for _, g in udg_suite:
+            assert is_independent_set(g, cluster_heads(g))
+
+    def test_highest_degree_elected_first(self, star_graph):
+        assert cluster_heads(star_graph) == [0]
+
+    def test_path_heads(self, path5):
+        heads = cluster_heads(path5)
+        assert is_dominating_set(path5, heads)
+        assert is_independent_set(path5, heads)
+
+
+class TestStojmenovicCDS:
+    def test_valid_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            assert stojmenovic_cds(g).is_valid(g)
+
+    def test_single_node(self):
+        assert stojmenovic_cds(Graph(nodes=[0])).size == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stojmenovic_cds(Graph())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            stojmenovic_cds(Graph(edges=[(0, 1)], nodes=[2]))
+
+    def test_phase_split(self, small_udg):
+        _, g = small_udg
+        result = stojmenovic_cds(g)
+        assert set(result.dominators) | set(result.connectors) == set(result.nodes)
+        assert is_dominating_set(g, result.dominators)

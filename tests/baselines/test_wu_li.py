@@ -1,0 +1,66 @@
+"""Unit tests for the Wu–Li marking baseline."""
+
+import pytest
+
+from repro.baselines import wu_li_cds, wu_li_marked
+from repro.graphs import Graph
+
+
+class TestMarking:
+    def test_path_interior_marked(self, path5):
+        assert wu_li_marked(path5) == {1, 2, 3}
+
+    def test_complete_graph_unmarked(self, complete4):
+        assert wu_li_marked(complete4) == set()
+
+    def test_cycle_all_marked(self, cycle6):
+        assert wu_li_marked(cycle6) == set(range(6))
+
+    def test_star_center_marked(self, star_graph):
+        assert wu_li_marked(star_graph) == {0}
+
+
+class TestWuLiCDS:
+    def test_valid_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            assert wu_li_cds(g).is_valid(g)
+
+    def test_complete_graph_single_node(self, complete4):
+        result = wu_li_cds(complete4)
+        assert result.size == 1
+        assert result.is_valid(complete4)
+
+    def test_two_node_graph(self):
+        g = Graph(edges=[(0, 1)])
+        result = wu_li_cds(g)
+        assert result.is_valid(g)
+
+    def test_single_node(self):
+        assert wu_li_cds(Graph(nodes=[3])).size == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            wu_li_cds(Graph())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            wu_li_cds(Graph(edges=[(0, 1)], nodes=[2]))
+
+    def test_rules_prune_something_on_dense_graphs(self):
+        # A dense cluster plus a tail: the raw marking includes cluster
+        # nodes that Rules 1/2 remove.
+        g = Graph(
+            edges=[
+                (0, 1), (0, 2), (1, 2),  # triangle
+                (0, 3), (1, 3), (2, 3),  # + apex = K4
+                (3, 4), (4, 5),          # tail
+            ]
+        )
+        raw = wu_li_marked(g)
+        result = wu_li_cds(g)
+        assert result.is_valid(g)
+        assert result.size <= len(raw)
+
+    def test_path_result_is_interior(self, path5):
+        result = wu_li_cds(path5)
+        assert set(result.nodes) == {1, 2, 3}

@@ -1,0 +1,53 @@
+"""Unit tests for CDSResult."""
+
+import pytest
+
+from repro.cds import CDSResult
+
+
+class TestCDSResult:
+    def test_size_and_container(self, path5):
+        r = CDSResult(algorithm="x", nodes=frozenset([1, 2, 3]))
+        assert r.size == 3
+        assert len(r) == 3
+        assert 2 in r and 0 not in r
+
+    def test_phase_split_must_match(self):
+        with pytest.raises(ValueError):
+            CDSResult(
+                algorithm="x",
+                nodes=frozenset([1, 2]),
+                dominators=(1,),
+                connectors=(3,),
+            )
+
+    def test_phase_split_ok(self):
+        r = CDSResult(
+            algorithm="x",
+            nodes=frozenset([1, 2]),
+            dominators=(1,),
+            connectors=(2,),
+        )
+        assert r.dominators == (1,)
+
+    def test_no_phase_split_allowed(self):
+        r = CDSResult(algorithm="x", nodes=frozenset([1]))
+        assert r.dominators == ()
+
+    def test_is_valid(self, path5):
+        good = CDSResult(algorithm="x", nodes=frozenset([1, 2, 3]))
+        bad = CDSResult(algorithm="x", nodes=frozenset([0, 1]))
+        assert good.is_valid(path5)
+        assert not bad.is_valid(path5)
+
+    def test_validate_returns_self(self, path5):
+        r = CDSResult(algorithm="x", nodes=frozenset([1, 2, 3]))
+        assert r.validate(path5) is r
+
+    def test_validate_raises_on_bad(self, path5):
+        r = CDSResult(algorithm="x", nodes=frozenset([0]))
+        with pytest.raises(AssertionError):
+            r.validate(path5)
+
+    def test_meta_defaults_empty(self):
+        assert CDSResult(algorithm="x", nodes=frozenset([1])).meta == {}

@@ -1,0 +1,125 @@
+"""Unit tests for the bound formulas — the paper's stated constants."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.cds import bounds
+
+
+class TestAlphaBounds:
+    def test_wan2004(self):
+        assert bounds.alpha_bound_wan2004(3) == 13.0
+
+    def test_wu2006(self):
+        assert math.isclose(bounds.alpha_bound_wu2006(3), 12.6)
+
+    def test_this_paper_exact_fraction(self):
+        assert bounds.alpha_bound_this_paper(3) == Fraction(12)
+        assert bounds.alpha_bound_this_paper(6) == Fraction(23)
+
+    def test_funke_claim(self):
+        assert math.isclose(bounds.alpha_bound_funke_claim(0), 8.291)
+
+    def test_ordering_of_bounds_for_large_gamma(self):
+        # The paper's progression: each new bound is strictly tighter
+        # for large gamma_c.
+        for gc in range(5, 40):
+            assert (
+                bounds.alpha_bound_this_paper(gc)
+                < bounds.alpha_bound_wu2006(gc)
+                < bounds.alpha_bound_wan2004(gc)
+            )
+
+
+class TestNeighborhoodBounds:
+    def test_main(self):
+        assert bounds.neighborhood_bound(3) == Fraction(12)
+        assert bounds.neighborhood_bound(6) == Fraction(23)
+
+    def test_capped_degree_variant(self):
+        assert bounds.neighborhood_bound_capped_degree(3) == Fraction(11)
+
+    def test_intersecting_variant(self):
+        assert bounds.neighborhood_bound_intersecting(3) == Fraction(10)
+
+    def test_variants_ordering(self):
+        for n in range(2, 10):
+            assert (
+                bounds.neighborhood_bound_intersecting(n)
+                < bounds.neighborhood_bound_capped_degree(n)
+                < bounds.neighborhood_bound(n)
+            )
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            bounds.neighborhood_bound(1)
+
+
+class TestRatioBounds:
+    def test_waf_constants(self):
+        assert bounds.WAF_RATIO == Fraction(22, 3)
+        assert bounds.waf_bound_this_paper(3) == Fraction(22)
+        assert bounds.waf_bound_wan2004(3) == 23.0
+        assert math.isclose(bounds.waf_bound_wu2006(3), 24.2)
+
+    def test_greedy_constant_is_six_and_seven_eighteenths(self):
+        assert bounds.GREEDY_RATIO == Fraction(115, 18)
+        assert bounds.GREEDY_RATIO == 6 + Fraction(7, 18)
+
+    def test_new_algorithm_strictly_better(self):
+        for gc in range(1, 30):
+            assert bounds.greedy_bound_this_paper(gc) < bounds.waf_bound_this_paper(gc)
+
+    def test_conjectured_bounds(self):
+        assert bounds.waf_bound_conjectured(2) == 12.0
+        assert bounds.greedy_bound_conjectured(2) == 11.0
+
+    def test_paper_improvement_over_76(self):
+        # 7 1/3 < 7.6 for every gamma_c >= 1 (plus the old +1.4 offset).
+        for gc in range(1, 50):
+            assert bounds.waf_bound_this_paper(gc) < bounds.waf_bound_wu2006(gc)
+
+
+class TestLemma9:
+    def test_gain_floor_is_one_for_small_q(self):
+        assert bounds.lemma9_min_gain(5, 10) == 1
+
+    def test_gain_scales_with_q(self):
+        assert bounds.lemma9_min_gain(21, 5) == math.ceil(21 / 5) - 1 == 4
+
+    def test_q_one_gives_zero(self):
+        assert bounds.lemma9_min_gain(1, 3) == 0
+
+    def test_bad_gamma(self):
+        with pytest.raises(ValueError):
+            bounds.lemma9_min_gain(5, 0)
+
+
+class TestGammaLowerBound:
+    def test_inversion(self):
+        # alpha = 12 -> gamma_c >= ceil(3*11/11) = 3.
+        assert bounds.gamma_c_lower_bound_from_alpha(12) == 3
+
+    def test_at_least_one(self):
+        assert bounds.gamma_c_lower_bound_from_alpha(1) == 1
+
+    def test_consistency_with_corollary7(self):
+        # Feeding the bound back: alpha <= 11/3 * lb(alpha) + 1 may fail
+        # (the lb is a floor), but lb is always <= the smallest gamma
+        # consistent with alpha, i.e. alpha <= 11/3 * gamma + 1 implies
+        # gamma >= lb.
+        for alpha in range(1, 60):
+            lb = bounds.gamma_c_lower_bound_from_alpha(alpha)
+            # gamma = lb satisfies the corollary inequality; gamma = lb-1
+            # (if >= 1) must violate it.
+            if lb > 1:
+                assert alpha > float(bounds.alpha_bound_this_paper(lb - 1))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bounds.gamma_c_lower_bound_from_alpha(0)
+
+    def test_phi_reexport(self):
+        assert bounds.phi(3) == 12

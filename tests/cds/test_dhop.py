@@ -1,0 +1,89 @@
+"""Tests for d-hop connected dominating sets."""
+
+import pytest
+
+from repro.cds.dhop import d_hop_ball, d_hop_cds, is_d_hop_cds, is_d_hop_dominating
+from repro.graphs import Graph, chain_points, unit_disk_graph
+
+
+class TestDHopBall:
+    def test_radius_zero(self, path5):
+        assert d_hop_ball(path5, 2, 0) == {2}
+
+    def test_radius_one_is_closed_neighborhood(self, path5):
+        assert d_hop_ball(path5, 2, 1) == path5.closed_neighborhood(2)
+
+    def test_radius_two(self, path5):
+        assert d_hop_ball(path5, 0, 2) == {0, 1, 2}
+
+    def test_covers_all_eventually(self, cycle6):
+        assert d_hop_ball(cycle6, 0, 3) == set(range(6))
+
+    def test_negative_rejected(self, path5):
+        with pytest.raises(ValueError):
+            d_hop_ball(path5, 0, -1)
+
+
+class TestDHopDomination:
+    def test_center_of_path(self, path5):
+        assert is_d_hop_dominating(path5, [2], 2)
+        assert not is_d_hop_dominating(path5, [2], 1)
+
+    def test_d1_equals_classic(self, udg_suite):
+        from repro.graphs import is_dominating_set
+
+        for _, g in udg_suite[:4]:
+            from repro.mis import lexicographic_mis
+
+            ds = lexicographic_mis(g)
+            assert is_d_hop_dominating(g, ds, 1) == is_dominating_set(g, ds)
+
+    def test_foreign_nodes_rejected(self, path5):
+        assert not is_d_hop_dominating(path5, [99], 3)
+
+    def test_d_hop_cds_validator(self, path5):
+        assert is_d_hop_cds(path5, [2], 2)
+        assert not is_d_hop_cds(path5, [], 2)
+        assert not is_d_hop_cds(path5, [0, 4], 1)  # disconnected
+
+
+class TestDHopCDS:
+    def test_valid_on_suite_for_d(self, udg_suite):
+        for d in (1, 2, 3):
+            for _, g in udg_suite[:4]:
+                result = d_hop_cds(g, d)
+                assert is_d_hop_cds(g, result.nodes, d), (d, result)
+
+    def test_sizes_shrink_with_d(self, medium_udg):
+        _, g = medium_udg
+        sizes = [d_hop_cds(g, d).size for d in (1, 2, 3)]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+    def test_d1_is_classic_cds(self, small_udg):
+        from repro.graphs import is_connected_dominating_set
+
+        _, g = small_udg
+        result = d_hop_cds(g, 1)
+        assert is_connected_dominating_set(g, result.nodes)
+
+    def test_long_chain_d2(self):
+        g = unit_disk_graph(chain_points(13, 1.0))
+        result = d_hop_cds(g, 2)
+        assert is_d_hop_cds(g, result.nodes, 2)
+        # Dominators are sparse: about one per 2d+1 = 5 chain nodes.
+        assert len(result.dominators) <= 4
+
+    def test_single_node(self):
+        assert d_hop_cds(Graph(nodes=[0]), 2).size == 1
+
+    def test_invalid_d(self, path5):
+        with pytest.raises(ValueError):
+            d_hop_cds(path5, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            d_hop_cds(Graph(), 1)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            d_hop_cds(Graph(edges=[(0, 1)], nodes=[2]), 1)

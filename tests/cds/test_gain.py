@@ -1,0 +1,111 @@
+"""Unit tests for the gain function and incremental tracker."""
+
+import pytest
+
+from repro.cds import GainTracker, component_count, gain_of
+from repro.graphs import Graph
+from repro.mis import first_fit_mis
+
+
+class TestReferenceImplementations:
+    def test_component_count_of_independent_set(self, path5):
+        assert component_count(path5, [0, 2, 4]) == 3
+
+    def test_component_count_after_merge(self, path5):
+        assert component_count(path5, [0, 1, 2, 4]) == 2
+
+    def test_gain_of_merging_node(self, path5):
+        # Node 1 merges components {0} and {2}.
+        assert gain_of(path5, {0, 2, 4}, 1) == 1
+
+    def test_gain_of_included_node_is_zero(self, path5):
+        assert gain_of(path5, {0, 2, 4}, 2) == 0
+
+    def test_gain_of_leaf_touching_one_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert gain_of(g, {0}, 1) == 0
+
+
+class TestGainTracker:
+    def test_initial_q_is_mis_size(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        assert t.component_count == 3
+
+    def test_gain_matches_reference(self, small_udg):
+        _, g = small_udg
+        mis = first_fit_mis(g)
+        t = GainTracker(g, mis.nodes)
+        included = set(mis.nodes)
+        for w in g.nodes():
+            assert t.gain(w) == gain_of(g, included, w)
+
+    def test_add_returns_realized_gain(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        assert t.add(1) == 1
+        assert t.component_count == 2
+        assert t.add(3) == 1
+        assert t.component_count == 1
+
+    def test_add_included_raises(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        with pytest.raises(ValueError):
+            t.add(0)
+
+    def test_gain_of_included_zero(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        assert t.gain(0) == 0
+
+    def test_incremental_matches_reference_along_run(self, udg_suite):
+        for _, g in udg_suite:
+            mis = first_fit_mis(g)
+            t = GainTracker(g, mis.nodes)
+            included = set(mis.nodes)
+            while t.component_count > 1:
+                w, gain = t.best_connector()
+                assert gain == gain_of(g, included, w)
+                t.add(w)
+                included.add(w)
+                assert t.component_count == component_count(g, included)
+
+    def test_best_connector_when_connected_raises(self, path5):
+        t = GainTracker(path5, [2])
+        with pytest.raises(ValueError):
+            t.best_connector()
+
+    def test_best_connector_tie_break_min(self):
+        # Symmetric graph: 1 and 3 both have gain 1; 1 is smaller.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 3), (3, 2)])
+        t = GainTracker(g, [0, 2])
+        w, gain = t.best_connector()
+        assert (w, gain) == (1, 1)
+
+    def test_non_independent_dominators_tolerated(self):
+        # Baselines may pass non-independent dominating sets.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        t = GainTracker(g, [0, 1, 3])
+        assert t.component_count == 2
+
+    def test_empty_dominators_rejected(self, path5):
+        with pytest.raises(ValueError):
+            GainTracker(path5, [])
+
+    def test_unknown_dominator_rejected(self, path5):
+        with pytest.raises(KeyError):
+            GainTracker(path5, [99])
+
+    def test_disconnected_graph_detected(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        t = GainTracker(g, [0, 2])
+        with pytest.raises(ValueError):
+            t.best_connector()
+
+    def test_adjacent_components(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        assert len(t.adjacent_components(1)) == 2
+        assert len(t.adjacent_components(3)) == 2
+
+    def test_included_and_dominators_views(self, path5):
+        t = GainTracker(path5, [0, 2, 4])
+        t.add(1)
+        assert t.included == frozenset({0, 1, 2, 4})
+        assert t.dominators == frozenset({0, 2, 4})

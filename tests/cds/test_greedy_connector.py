@@ -1,0 +1,119 @@
+"""Unit tests for the Section IV greedy-connector algorithm."""
+
+import pytest
+
+from repro.cds import greedy_connector_cds, greedy_connectors
+from repro.cds.bounds import greedy_bound_this_paper, lemma9_min_gain
+from repro.cds.exact import connected_domination_number
+from repro.graphs import (
+    Graph,
+    chain_points,
+    is_maximal_independent_set,
+    unit_disk_graph,
+)
+from repro.mis import first_fit_mis
+
+
+class TestGreedyBasics:
+    def test_valid_cds_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            assert greedy_connector_cds(g).is_valid(g)
+
+    def test_dominators_form_mis(self, udg_suite):
+        for _, g in udg_suite:
+            result = greedy_connector_cds(g)
+            assert is_maximal_independent_set(g, result.dominators)
+
+    def test_single_node(self):
+        g = Graph(nodes=[0])
+        assert greedy_connector_cds(g).nodes == frozenset([0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            greedy_connector_cds(Graph())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            greedy_connector_cds(Graph(edges=[(0, 1)], nodes=[2]))
+
+    def test_deterministic(self, small_udg):
+        _, g = small_udg
+        a = greedy_connector_cds(g)
+        b = greedy_connector_cds(g)
+        assert a.nodes == b.nodes
+        assert a.connectors == b.connectors
+
+
+class TestTrace:
+    def test_q_history_shape(self, small_udg):
+        _, g = small_udg
+        result = greedy_connector_cds(g)
+        q = result.meta["q_history"]
+        gains = result.meta["gain_history"]
+        assert q[0] == len(result.dominators)
+        assert q[-1] == 1
+        assert len(q) == len(gains) + 1
+
+    def test_q_decreases_by_gain(self, udg_suite):
+        for _, g in udg_suite:
+            result = greedy_connector_cds(g)
+            q = result.meta["q_history"]
+            gains = result.meta["gain_history"]
+            for i, gain in enumerate(gains):
+                assert q[i + 1] == q[i] - gain
+
+    def test_gains_positive(self, udg_suite):
+        for _, g in udg_suite:
+            result = greedy_connector_cds(g)
+            assert all(gain >= 1 for gain in result.meta["gain_history"])
+
+    def test_gains_nonincreasing_is_not_required_but_lemma9_holds(self, udg_suite):
+        # Lemma 9: each realized (max) gain >= max(1, ceil(q/gamma_c)-1).
+        for _, g in udg_suite:
+            result = greedy_connector_cds(g)
+            gamma_c = connected_domination_number(g)
+            q = result.meta["q_history"]
+            for i, gain in enumerate(result.meta["gain_history"]):
+                assert gain >= lemma9_min_gain(q[i], gamma_c)
+
+
+class TestGreedyConnectorsOnGivenMIS:
+    def test_connects_given_dominators(self, small_udg):
+        _, g = small_udg
+        mis = first_fit_mis(g)
+        connectors, gains, q = greedy_connectors(g, mis.nodes)
+        assert q[-1] == 1
+        assert len(connectors) == len(gains)
+        from repro.graphs import induced_is_connected
+
+        assert induced_is_connected(g, set(mis.nodes) | set(connectors))
+
+    def test_no_connectors_needed_for_single_dominator(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        connectors, gains, q = greedy_connectors(g, [0])
+        assert connectors == [] and q == [1]
+
+
+class TestTheorem10:
+    def test_ratio_bound_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            result = greedy_connector_cds(g)
+            gamma_c = connected_domination_number(g)
+            assert result.size <= float(greedy_bound_this_paper(gamma_c))
+
+    def test_ratio_bound_on_chains(self):
+        for n in (5, 8, 12, 15):
+            g = unit_disk_graph(chain_points(n, 0.95))
+            result = greedy_connector_cds(g)
+            gamma_c = connected_domination_number(g)
+            assert result.size <= float(greedy_bound_this_paper(gamma_c))
+
+    def test_never_more_connectors_than_waf_on_average(self, udg_suite):
+        # The motivating comparison: same phase 1, cheaper phase 2.
+        from repro.cds import waf_cds
+
+        total_greedy = total_waf = 0
+        for _, g in udg_suite:
+            total_greedy += greedy_connector_cds(g).size
+            total_waf += waf_cds(g).size
+        assert total_greedy <= total_waf

@@ -1,0 +1,56 @@
+"""Unit tests for the Steiner-path connector variant."""
+
+import pytest
+
+from repro.cds import steiner_cds, steiner_connectors
+from repro.graphs import Graph, induced_is_connected
+from repro.mis import first_fit_mis
+
+
+class TestSteinerCDS:
+    def test_valid_on_suite(self, udg_suite):
+        for _, g in udg_suite:
+            assert steiner_cds(g).is_valid(g)
+
+    def test_single_node(self):
+        g = Graph(nodes=[0])
+        assert steiner_cds(g).nodes == frozenset([0])
+
+    def test_deterministic(self, small_udg):
+        _, g = small_udg
+        assert steiner_cds(g).nodes == steiner_cds(g).nodes
+
+
+class TestSteinerConnectors:
+    def test_connects_mis(self, small_udg):
+        _, g = small_udg
+        mis = first_fit_mis(g)
+        connectors = steiner_connectors(g, mis.nodes)
+        assert induced_is_connected(g, set(mis.nodes) | set(connectors))
+
+    def test_handles_non_two_hop_dominators(self):
+        # Dominators three hops apart: the paper's phase 2 rules assume
+        # 2-hop separation, but the Steiner variant bridges any gap.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        connectors = steiner_connectors(g, [0, 3])
+        assert set(connectors) == {1, 2}
+
+    def test_already_connected_no_connectors(self, path5):
+        assert steiner_connectors(path5, [1, 2, 3]) == []
+
+    def test_unconnectable_raises(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        with pytest.raises(ValueError):
+            steiner_connectors(g, [0, 2])
+
+    def test_uses_shortest_paths(self):
+        # Two dominator endpoints with a 2-node path and a 3-node detour:
+        # the shortest bridge is chosen.
+        g = Graph(
+            edges=[
+                (0, 1), (1, 5),         # short path through 1
+                (0, 2), (2, 3), (3, 4), (4, 5),  # long detour
+            ]
+        )
+        connectors = steiner_connectors(g, [0, 5])
+        assert connectors == [1]

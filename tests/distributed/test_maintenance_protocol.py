@@ -1,0 +1,97 @@
+"""Tests for the distributed join-repair protocol."""
+
+import random
+
+import pytest
+
+from repro.cds import greedy_connector_cds
+from repro.distributed.maintenance_protocol import distributed_join
+from repro.graphs import Graph, is_connected_dominating_set
+
+
+def grown_instance(seed: int, n: int = 18):
+    """An integer-id connected UDG-ish graph plus a join candidate."""
+    from repro.experiments.instances import int_labeled
+    from repro.graphs import random_connected_udg
+
+    pts, graph = random_connected_udg(n, 3.8, seed=seed)
+    g = int_labeled(graph)
+    return g
+
+
+class TestDistributedJoin:
+    def test_dominated_join_costs_little(self):
+        g = grown_instance(0)
+        backbone = frozenset(greedy_connector_cds(g).nodes)
+        anchor = next(iter(backbone))
+        joiner = 999
+        g.add_node(joiner)
+        g.add_edge(joiner, anchor)
+        new_backbone, metrics = distributed_join(g, joiner, backbone)
+        assert new_backbone == backbone  # no repair needed
+        assert is_connected_dominating_set(g, new_backbone)
+        # hello + one reply.
+        assert metrics.transmissions == 2
+
+    def test_undominated_join_promotes_one(self):
+        # Star topology: backbone = {center}; hang the joiner off a leaf.
+        g = Graph(edges=[(0, i) for i in range(1, 5)])
+        backbone = frozenset([0])
+        joiner = 99
+        g.add_node(joiner)
+        g.add_edge(joiner, 1)
+        new_backbone, metrics = distributed_join(g, joiner, backbone)
+        assert new_backbone == frozenset([0, 1])
+        assert is_connected_dominating_set(g, new_backbone)
+        # hello + reply + promote + role announcement.
+        assert metrics.transmissions == 4
+
+    def test_repair_cost_independent_of_network_size(self):
+        costs = []
+        for seed, n in ((1, 12), (1, 24)):
+            g = grown_instance(seed, n)
+            backbone = frozenset(greedy_connector_cds(g).nodes)
+            # Attach the joiner to a single non-backbone node.
+            fringe = next(v for v in g.nodes() if v not in backbone)
+            joiner = 999
+            g.add_node(joiner)
+            g.add_edge(joiner, fringe)
+            _, metrics = distributed_join(g, joiner, backbone)
+            costs.append(metrics.transmissions)
+        assert costs[0] == costs[1]  # O(1) repair regardless of n
+
+    def test_random_joins_keep_cds(self):
+        rng = random.Random(4)
+        for seed in range(5):
+            g = grown_instance(seed)
+            backbone = frozenset(greedy_connector_cds(g).nodes)
+            joiner = 999
+            g.add_node(joiner)
+            targets = rng.sample(sorted(v for v in g.nodes() if v != joiner), 2)
+            for t in targets:
+                g.add_edge(joiner, t)
+            new_backbone, _ = distributed_join(g, joiner, backbone)
+            assert is_connected_dominating_set(g, new_backbone)
+
+    def test_matches_centralized_repair_size(self):
+        # The distributed protocol promotes at most one node, like
+        # DynamicCDS.add_node.
+        g = grown_instance(2)
+        backbone = frozenset(greedy_connector_cds(g).nodes)
+        fringe = next(v for v in g.nodes() if v not in backbone)
+        joiner = 999
+        g.add_node(joiner)
+        g.add_edge(joiner, fringe)
+        new_backbone, _ = distributed_join(g, joiner, backbone)
+        assert len(new_backbone) - len(backbone) <= 1
+
+    def test_unknown_joiner_rejected(self):
+        g = grown_instance(3)
+        with pytest.raises(ValueError):
+            distributed_join(g, 12345, frozenset())
+
+    def test_isolated_joiner_rejected(self):
+        g = grown_instance(3)
+        g.add_node(777)
+        with pytest.raises(ValueError):
+            distributed_join(g, 777, frozenset())

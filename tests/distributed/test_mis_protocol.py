@@ -1,0 +1,72 @@
+"""Unit tests for the distributed rank-based MIS election."""
+
+from repro.distributed import build_bfs_tree, elect_mis
+from repro.graphs import (
+    Graph,
+    has_two_hop_separation,
+    is_maximal_independent_set,
+)
+from repro.mis import first_fit_mis_in_order
+
+
+def labeled_udg(fixture):
+    from repro.experiments.instances import int_labeled
+
+    _, graph = fixture
+    return int_labeled(graph)
+
+
+class TestMISElection:
+    def test_result_is_mis(self, small_udg):
+        g = labeled_udg(small_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_matches_centralized_rank_order_first_fit(self, small_udg):
+        # The election IS first-fit over the (level, id) order.
+        g = labeled_udg(small_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        order = sorted(g.nodes(), key=tree.rank)
+        expected = first_fit_mis_in_order(g, order)
+        assert sorted(mis) == sorted(expected)
+
+    def test_leader_always_dominator(self, medium_udg):
+        g = labeled_udg(medium_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        assert 0 in mis
+
+    def test_two_hop_separation(self, medium_udg):
+        g = labeled_udg(medium_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        assert has_two_hop_separation(g, mis)
+
+    def test_exactly_two_transmissions_per_node(self, small_udg):
+        # One rank broadcast + one color broadcast each.
+        g = labeled_udg(small_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        _, metrics = elect_mis(g, tree)
+        assert metrics.transmissions == 2 * len(g)
+        assert metrics.by_kind["rank"] == len(g)
+        assert metrics.by_kind["color"] == len(g)
+
+    def test_path_graph_cascade(self, path5):
+        tree, _ = build_bfs_tree(path5, 0)
+        mis, _ = elect_mis(path5, tree)
+        assert mis == [0, 2, 4]
+
+    def test_single_node(self):
+        g = Graph(nodes=[0])
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        assert mis == [0]
+
+    def test_returned_in_rank_order(self, small_udg):
+        g = labeled_udg(small_udg)
+        tree, _ = build_bfs_tree(g, 0)
+        mis, _ = elect_mis(g, tree)
+        ranks = [tree.rank(v) for v in mis]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,62 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.experiments import Table, all_experiments, get_experiment
+from repro.experiments.harness import ExperimentResult
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(title="demo", headers=["a", "b"])
+        t.add_row(1, 2.5)
+        out = t.render()
+        assert "demo" in out and "2.500" in out
+
+    def test_row_arity_checked(self):
+        t = Table(title="demo", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_csv(self):
+        t = Table(title="demo", headers=["a", "b"])
+        t.add_row("x", 1)
+        assert t.to_csv() == "a,b\nx,1\n"
+
+    def test_render_empty(self):
+        t = Table(title="empty", headers=["a"])
+        assert "empty" in t.render()
+
+
+class TestExperimentResult:
+    def test_render_status(self):
+        r = ExperimentResult(
+            experiment_id="X", title="t", tables=[], passed=True, notes="n"
+        )
+        assert "PASS" in r.render()
+        r2 = ExperimentResult(experiment_id="X", title="t", tables=[], passed=False)
+        assert "FAIL" in r2.render()
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        registry = all_experiments()
+        expected = {"T3", "T6", "C7", "T8", "T10", "F1F2", "LEM", "CMP", "DIST", "S5"}
+        assert expected <= set(registry)
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("t3") is get_experiment("T3")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("nope")
+
+    def test_ids_match_design_doc(self):
+        # Every experiment id in the registry appears in DESIGN.md's index.
+        import pathlib
+
+        design = pathlib.Path(__file__).resolve().parents[2] / "DESIGN.md"
+        text = design.read_text()
+        for key in all_experiments():
+            lookup = {"F1F2": "F1", "LEM": "L1"}.get(key, key)
+            assert lookup in text

@@ -1,0 +1,74 @@
+"""Tests for the shared experiment instance helpers."""
+
+import math
+
+import pytest
+
+from repro.experiments.instances import (
+    connected_planar_sets,
+    connected_udg_instances,
+    default_side,
+    int_labeled,
+    random_star,
+)
+from repro.geometry import Point, is_star
+from repro.graphs import is_connected
+
+
+class TestDefaultSide:
+    def test_targets_mean_degree(self):
+        for n in (20, 50, 100):
+            side = default_side(n, mean_degree=6.0)
+            implied = math.pi * n / side**2
+            assert implied == pytest.approx(6.0, rel=0.01) or side == 1.5
+
+    def test_floor_for_tiny_n(self):
+        assert default_side(2) == 1.5
+
+    def test_grows_with_n(self):
+        assert default_side(100) > default_side(25)
+
+
+class TestInstanceStreams:
+    def test_connected_udg_instances(self):
+        for pts, g in connected_udg_instances(12, default_side(12), range(3)):
+            assert len(pts) == 12
+            assert is_connected(g)
+
+    def test_connected_planar_sets(self):
+        for pts in connected_planar_sets(10, default_side(10), range(2)):
+            assert len(pts) == 10
+
+    def test_deterministic(self):
+        a = list(connected_udg_instances(10, 2.4, range(2)))
+        b = list(connected_udg_instances(10, 2.4, range(2)))
+        assert [p for p, _ in a] == [p for p, _ in b]
+
+
+class TestRandomStar:
+    def test_is_star_with_center_first(self):
+        for n in (1, 2, 4, 6):
+            star = random_star(n, seed=n)
+            assert len(star) == n
+            assert star[0] == Point(0.0, 0.0)
+            assert is_star(star)
+
+    def test_deterministic(self):
+        assert random_star(5, seed=9) == random_star(5, seed=9)
+
+
+class TestIntLabeled:
+    def test_preserves_structure(self, small_udg):
+        _, g = small_udg
+        labeled = int_labeled(g)
+        assert len(labeled) == len(g)
+        assert labeled.edge_count() == g.edge_count()
+        assert set(labeled.nodes()) == set(range(len(g)))
+
+    def test_sorted_by_coordinates(self, small_udg):
+        _, g = small_udg
+        labeled = int_labeled(g)
+        # id 0 must correspond to the lexicographically smallest point:
+        # its degree matches.
+        smallest = min(g.nodes())
+        assert labeled.degree(0) == g.degree(smallest)

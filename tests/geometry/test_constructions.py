@@ -1,0 +1,106 @@
+"""Unit tests for the Figure 1/2 tightness constructions."""
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    figure1_three_star,
+    figure1_two_star,
+    figure2_linear,
+    in_neighborhood,
+    is_independent,
+    is_star,
+    one_star_packing,
+    phi,
+)
+
+
+def assert_witness(centers, witness, expected):
+    assert len(witness) == expected
+    assert is_independent(witness)
+    for p in witness:
+        assert in_neighborhood(p, centers)
+
+
+class TestOneStarPacking:
+    def test_achieves_phi1(self):
+        centers, witness = one_star_packing()
+        assert_witness(centers, witness, phi(1))
+        assert len(centers) == 1
+
+
+class TestFigure1TwoStar:
+    def test_achieves_phi2(self):
+        centers, witness = figure1_two_star()
+        assert_witness(centers, witness, phi(2))
+
+    def test_is_a_two_star(self):
+        centers, _ = figure1_two_star()
+        assert len(centers) == 2
+        assert is_star(centers)
+
+    def test_split_matches_paper(self):
+        # I0 around o (4 points) and I1 on the boundary of D_{u1} (4 points).
+        (o, u1), witness = figure1_two_star()
+        i0 = [p for p in witness if p.distance_to(o) <= 1.0 + 1e-9]
+        i1 = [p for p in witness if abs(p.distance_to(u1) - 1.0) < 1e-9]
+        assert len(i0) == 4
+        assert len(i1) == 4
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_two_star(eps=1e-2, delta=1e-2)
+
+
+class TestFigure1ThreeStar:
+    def test_achieves_phi3(self):
+        centers, witness = figure1_three_star()
+        assert_witness(centers, witness, phi(3))
+
+    def test_star_layout_matches_paper(self):
+        (o, u1, u2), _ = figure1_three_star()
+        assert o == Point(0.0, 0.0)
+        assert u1 == Point(1.0, 0.0)
+        assert u2 == Point(-1.0, 0.0)
+        assert is_star([o, u1, u2])
+
+
+class TestFigure2Linear:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 9, 10, 15])
+    def test_achieves_three_n_plus_three(self, n):
+        centers, witness = figure2_linear(n)
+        assert_witness(centers, witness, 3 * (n + 1))
+
+    def test_centers_are_unit_chain(self):
+        centers, _ = figure2_linear(5)
+        assert centers == [Point(float(i), 0.0) for i in range(5)]
+
+    def test_even_and_odd_parities(self):
+        # The paper shows (a) even, (b) odd; both must validate.
+        for n in (4, 5):
+            centers, witness = figure2_linear(n)
+            assert is_independent(witness)
+
+    def test_below_minimum_raises(self):
+        with pytest.raises(ValueError):
+            figure2_linear(2)
+
+    def test_bad_eps_raises(self):
+        with pytest.raises(ValueError):
+            figure2_linear(4, eps=0.5)
+
+    def test_bad_delta_raises(self):
+        with pytest.raises(ValueError):
+            figure2_linear(4, eps=1e-2, delta=1e-3)
+
+    def test_stays_below_theorem6(self):
+        # 3(n+1) <= 11n/3 + 1 for n >= 3 — the conjecture gap.
+        for n in range(3, 20):
+            assert 3 * (n + 1) <= 11 * n / 3 + 1
+
+    def test_n3_matches_three_star_up_to_translation(self):
+        chain_centers, chain_witness = figure2_linear(3)
+        star_centers_, star_witness = figure1_three_star()
+        shift = Point(-1.0, 0.0)
+        assert {c + shift for c in chain_centers} == set(star_centers_)
+        assert {p + shift for p in chain_witness} == set(star_witness)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.geometry.hexagonal."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    FEJES_TOTH_DENSITY,
+    Point,
+    hexagonal_lattice,
+    hexagonal_points_in_disk,
+    hexagonal_points_in_neighborhood,
+    is_independent,
+    min_pairwise_distance,
+)
+
+
+class TestLattice:
+    def test_count(self):
+        assert len(hexagonal_lattice(1.0, 3, 4)) == 12
+
+    def test_nearest_neighbor_distance(self):
+        pts = hexagonal_lattice(1.0, 5, 5)
+        assert math.isclose(min_pairwise_distance(pts), 1.0)
+
+    def test_spacing_scales(self):
+        pts = hexagonal_lattice(2.5, 4, 4)
+        assert math.isclose(min_pairwise_distance(pts), 2.5)
+
+    def test_independent_when_spacing_above_one(self):
+        pts = hexagonal_lattice(1.01, 4, 4)
+        assert is_independent(pts)
+
+    def test_bad_spacing(self):
+        with pytest.raises(ValueError):
+            hexagonal_lattice(0.0, 2, 2)
+
+    def test_density_constant(self):
+        assert math.isclose(FEJES_TOTH_DENSITY, math.pi / math.sqrt(12))
+
+
+class TestDiskRestriction:
+    def test_wegner_witness_19(self):
+        # Center + ring of 6 at distance 1 + 6 at sqrt(3) + 6 at 2:
+        # the classic 19-point witness for the radius-2 disk (>= 1 spacing).
+        pts = hexagonal_points_in_disk(Point(0, 0), 2.0, 1.0)
+        assert len(pts) == 19
+
+    def test_strictly_independent_variant_loses_outer_ring(self):
+        pts = hexagonal_points_in_disk(Point(0, 0), 2.0, 1.0001)
+        assert len(pts) == 13
+        assert is_independent(pts)
+
+    def test_all_inside(self):
+        pts = hexagonal_points_in_disk(Point(3, -2), 1.7, 1.0)
+        assert all(p.distance_to(Point(3, -2)) <= 1.7 + 1e-9 for p in pts)
+
+    def test_center_is_hit(self):
+        pts = hexagonal_points_in_disk(Point(0.3, 0.7), 1.0, 1.0)
+        assert any(p.distance_to(Point(0.3, 0.7)) < 1e-9 for p in pts)
+
+
+class TestNeighborhoodRestriction:
+    def test_all_inside_neighborhood(self):
+        from repro.geometry import in_neighborhood
+
+        centers = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        pts = hexagonal_points_in_neighborhood(centers, 1.05)
+        assert pts
+        assert all(in_neighborhood(p, centers) for p in pts)
+
+    def test_empty_centers(self):
+        assert hexagonal_points_in_neighborhood([], 1.05) == []
+
+    def test_packing_respects_theorem6(self):
+        centers = [Point(float(i), 0.0) for i in range(6)]
+        pts = hexagonal_points_in_neighborhood(centers, 1.01)
+        assert is_independent(pts)
+        assert len(pts) <= 11 * len(centers) / 3 + 1

@@ -1,0 +1,125 @@
+"""Numerical verification of the appendix lemmas (Figures 3-9).
+
+The paper omits the proofs of Lemmas 11-13 for space; these tests
+verify the *statements* over randomized configurations — hundreds of
+sampled instances each, zero counterexamples expected.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Point, diameter
+from repro.geometry.lemma_checks import (
+    lemma11_angle_sum,
+    lemma11_holds,
+    lemma12_configuration,
+    lemma13_angle_sum,
+)
+
+
+class TestLemma11:
+    def _random_config(self, rng):
+        """A random convex quadrilateral o,u,p,v with |ov| = |up|."""
+        o = Point(0.0, 0.0)
+        u = Point(rng.uniform(0.3, 1.5), 0.0)
+        r = rng.uniform(0.4, 1.5)
+        # v above o, p above u, equal side lengths.
+        theta_v = rng.uniform(math.radians(50), math.radians(130))
+        theta_p = rng.uniform(math.radians(50), math.radians(130))
+        v = o + Point.polar(r, theta_v)
+        p = u + Point.polar(r, theta_p)
+        return o, u, p, v
+
+    def test_random_configurations(self):
+        rng = random.Random(3)
+        checked = 0
+        for _ in range(600):
+            o, u, p, v = self._random_config(rng)
+            try:
+                ok = lemma11_holds(o, u, p, v)
+            except ValueError:
+                continue  # non-convex sample; lemma says nothing
+            # Skip knife-edge cases where both sides sit on the boundary.
+            angle_sum = lemma11_angle_sum(o, u, p, v)
+            if abs(angle_sum - math.pi) < 1e-3:
+                continue
+            if abs(v.distance_to(p) - o.distance_to(u)) < 1e-3:
+                continue
+            assert ok, (o, u, p, v)
+            checked += 1
+        assert checked > 200  # the sampler produces plenty of valid cases
+
+    def test_square_boundary_case(self):
+        # A square: |vp| = |ou| and the angle sum is exactly 180.
+        o, u = Point(0, 0), Point(1, 0)
+        v, p = Point(0, 1), Point(1, 1)
+        assert math.isclose(lemma11_angle_sum(o, u, p, v), math.pi)
+        assert lemma11_holds(o, u, p, v)
+
+    def test_requires_equal_sides(self):
+        with pytest.raises(ValueError):
+            lemma11_holds(Point(0, 0), Point(1, 0), Point(1, 2), Point(0, 1))
+
+    def test_requires_convexity(self):
+        # A dart (reflex at p-ish) with equal sides should be rejected.
+        o, u = Point(0, 0), Point(1, 0)
+        v = Point(0, 1)
+        p = Point(0.5, 0.2) + (Point(1, 0) - Point(0.5, 0.2))  # contrived
+        with pytest.raises(ValueError):
+            lemma11_holds(o, u, Point(0.5, 0.1), v)
+
+
+class TestLemma12:
+    def test_diameter_is_one_over_samples(self):
+        rng = random.Random(4)
+        checked = 0
+        for _ in range(400):
+            o = Point(0.0, 0.0)
+            u = Point(rng.uniform(0.2, 1.0), 0.0)
+            # p on the unit circle around u, in the upper half toward a.
+            theta = rng.uniform(math.radians(10), math.radians(170))
+            p = u + Point.polar(1.0, theta)
+            config = lemma12_configuration(o, u, p)
+            if config is None:
+                continue
+            d = diameter(config)
+            assert d <= 1.0 + 1e-6, (o, u, p, d)
+            # The lemma says exactly one: some pair attains it.
+            assert d >= 1.0 - 1e-6
+            checked += 1
+        assert checked > 50
+
+    def test_preconditions_rejected(self):
+        # |op| < 1 violates the lemma's precondition.
+        o, u = Point(0.0, 0.0), Point(0.5, 0.0)
+        p = u + Point.polar(1.0, math.radians(178))  # lands close to o side
+        config = lemma12_configuration(o, u, p)
+        if config is not None:
+            # If accepted, the precondition |ap| <= 1 <= |op| held after all.
+            assert o.distance_to(p) >= 1.0 - 1e-9
+
+
+class TestLemma13:
+    def test_angle_sum_at_least_150_degrees(self):
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(600):
+            o = Point(0.0, 0.0)
+            u = Point(rng.uniform(0.15, 1.0), 0.0)
+            v = Point.polar(rng.uniform(0.0, 1.0), rng.uniform(0.0, math.pi))
+            if v.distance_to(u) <= 1.0:  # must be outside D_u
+                continue
+            total = lemma13_angle_sum(o, u, v)
+            if total is None:
+                continue
+            assert total >= math.radians(150) - 1e-6, (o, u, v, math.degrees(total))
+            checked += 1
+        assert checked > 50
+
+    def test_degenerate_inputs_return_none(self):
+        # v inside D_u: not a Lemma 13 configuration.
+        assert lemma13_angle_sum(Point(0, 0), Point(0.5, 0), Point(0.6, 0)) is None
+        # |ou| > 1:
+        assert lemma13_angle_sum(Point(0, 0), Point(1.5, 0), Point(0, 0.9)) is None

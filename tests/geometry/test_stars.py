@@ -1,0 +1,125 @@
+"""Unit tests for repro.geometry.stars (Lemma 4)."""
+
+import random
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    is_nontrivial_star_decomposition,
+    is_star,
+    is_star_decomposition,
+    star_centers,
+    star_decomposition,
+)
+
+
+def random_connected_points(n: int, seed: int) -> list[Point]:
+    """Grow a connected planar set by attaching near an existing point."""
+    rng = random.Random(seed)
+    pts = [Point(0.0, 0.0)]
+    while len(pts) < n:
+        base = rng.choice(pts)
+        offset = Point(rng.uniform(-0.9, 0.9), rng.uniform(-0.9, 0.9))
+        if offset.norm() > 0.9:  # keep the new point within unit range
+            continue
+        cand = base + offset
+        if cand not in pts:
+            pts.append(cand)
+    return pts
+
+
+class TestIsStar:
+    def test_singleton_is_star(self):
+        assert is_star([Point(0, 0)])
+
+    def test_empty_is_not(self):
+        assert not is_star([])
+
+    def test_center_witnesses(self):
+        pts = [Point(0, 0), Point(0.9, 0), Point(-0.9, 0)]
+        assert is_star(pts)
+        assert star_centers(pts) == [Point(0, 0)]
+
+    def test_no_center(self):
+        pts = [Point(0, 0), Point(1.5, 0), Point(3.0, 0)]
+        assert not is_star(pts)
+
+    def test_pair_within_unit_is_star_both_centers(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        assert len(star_centers(pts)) == 2
+
+    def test_boundary_distance_counts(self):
+        # Exactly distance 1 is within the closed disk.
+        assert is_star([Point(0, 0), Point(1, 0)])
+
+
+class TestStarDecomposition:
+    def test_two_points(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        dec = star_decomposition(pts)
+        assert dec == [pts]
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            star_decomposition([Point(0, 0)])
+
+    def test_requires_connected(self):
+        with pytest.raises(ValueError):
+            star_decomposition([Point(0, 0), Point(5, 0)])
+
+    def test_chain_of_three(self):
+        pts = [Point(0, 0), Point(0.9, 0), Point(1.8, 0)]
+        dec = star_decomposition(pts)
+        assert is_nontrivial_star_decomposition(dec, pts)
+
+    def test_unit_spaced_chain(self):
+        pts = [Point(float(i), 0.0) for i in range(7)]
+        dec = star_decomposition(pts)
+        assert is_nontrivial_star_decomposition(dec, pts)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 12, 20])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_connected_sets(self, n, seed):
+        pts = random_connected_points(n, seed * 100 + n)
+        dec = star_decomposition(pts)
+        assert is_nontrivial_star_decomposition(dec, pts)
+
+    def test_dense_cluster_single_star(self):
+        pts = [Point(0, 0)] + [
+            Point(0.3 * k / 10, 0.2 * k / 10) for k in range(1, 6)
+        ]
+        dec = star_decomposition(pts)
+        assert is_nontrivial_star_decomposition(dec, pts)
+
+    def test_duplicates_are_deduplicated(self):
+        pts = [Point(0, 0), Point(0.5, 0), Point(0.5, 0)]
+        dec = star_decomposition(pts)
+        assert is_nontrivial_star_decomposition(dec, [Point(0, 0), Point(0.5, 0)])
+
+
+class TestValidators:
+    def test_valid_decomposition(self):
+        pts = [Point(0, 0), Point(0.5, 0), Point(2, 0), Point(2.5, 0)]
+        partition = [[pts[0], pts[1]], [pts[2], pts[3]]]
+        assert is_star_decomposition(partition, pts)
+        assert is_nontrivial_star_decomposition(partition, pts)
+
+    def test_rejects_non_partition(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        assert not is_star_decomposition([[pts[0]]], pts)
+
+    def test_rejects_overlap(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        assert not is_star_decomposition([[pts[0], pts[1]], [pts[1]]], pts)
+
+    def test_rejects_non_star_part(self):
+        pts = [Point(0, 0), Point(1.5, 0), Point(3, 0), Point(3.5, 0)]
+        partition = [[pts[0], pts[1]], [pts[2], pts[3]]]  # first is not a star
+        assert not is_star_decomposition(partition, pts)
+
+    def test_trivial_decomposition_flagged(self):
+        pts = [Point(0, 0), Point(0.5, 0), Point(0.9, 0)]
+        partition = [[pts[0], pts[1]], [pts[2]]]
+        assert is_star_decomposition(partition, pts)
+        assert not is_nontrivial_star_decomposition(partition, pts)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.geometry.voronoi (Section V machinery)."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    HEXAGON_SIDE,
+    Point,
+    area_argument_bound,
+    hexagon_area,
+    voronoi_cell_areas,
+)
+
+
+class TestHexagon:
+    def test_side_constant(self):
+        assert math.isclose(HEXAGON_SIDE, 1 / math.sqrt(3))
+
+    def test_default_area_is_sqrt3_over_2(self):
+        assert math.isclose(hexagon_area(), math.sqrt(3) / 2)
+
+    def test_area_scales_quadratically(self):
+        assert math.isclose(hexagon_area(2.0), 4 * hexagon_area(1.0))
+
+
+class TestVoronoiCellAreas:
+    def test_single_site_gets_whole_region(self):
+        areas = voronoi_cell_areas(
+            [Point(0, 0)], [Point(0, 0)], region_radius=1.0, resolution=200
+        )
+        assert len(areas) == 1
+        assert math.isclose(areas[0], math.pi, rel_tol=0.03)
+
+    def test_two_symmetric_sites_split_evenly(self):
+        areas = voronoi_cell_areas(
+            [Point(-0.5, 0), Point(0.5, 0)],
+            [Point(0, 0)],
+            region_radius=1.5,
+            resolution=300,
+        )
+        assert math.isclose(areas[0], areas[1], rel_tol=0.03)
+
+    def test_areas_tile_the_region(self):
+        sites = [Point(-0.6, 0), Point(0.6, 0), Point(0, 0.8)]
+        areas = voronoi_cell_areas(sites, [Point(0, 0)], 1.5, resolution=300)
+        total = sum(areas)
+        assert math.isclose(total, math.pi * 1.5**2, rel_tol=0.03)
+
+    def test_empty_sites(self):
+        assert voronoi_cell_areas([], [Point(0, 0)]) == []
+
+    def test_empty_region(self):
+        assert voronoi_cell_areas([Point(0, 0)], []) == [0.0]
+
+    def test_far_site_gets_nothing(self):
+        areas = voronoi_cell_areas(
+            [Point(0, 0), Point(100, 0)], [Point(0, 0)], 1.0, resolution=150
+        )
+        assert areas[1] == 0.0
+
+
+class TestAreaArgumentBound:
+    def test_formula(self):
+        assert area_argument_bound(10.0, 2.0) == 5.0
+
+    def test_zero_cell_rejected(self):
+        with pytest.raises(ValueError):
+            area_argument_bound(10.0, 0.0)
+
+    def test_counting_logic_on_real_instance(self):
+        # area(Omega)/min-cell upper-bounds the actual site count when
+        # cells tile Omega.
+        sites = [Point(-0.6, 0), Point(0.6, 0), Point(0, 0.8), Point(0, -0.8)]
+        areas = voronoi_cell_areas(sites, [Point(0, 0)], 1.5, resolution=300)
+        omega = math.pi * 1.5**2
+        assert area_argument_bound(omega, min(areas)) >= len(sites) - 0.01

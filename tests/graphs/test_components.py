@@ -1,0 +1,69 @@
+"""Unit tests for the union-find."""
+
+from repro.graphs import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.set_count == 3
+        assert len(uf) == 3
+
+    def test_union_merges(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2)
+        assert uf.set_count == 2
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind([1, 2])
+        uf.union(1, 2)
+        assert not uf.union(2, 1)
+        assert uf.set_count == 1
+
+    def test_find_adds_lazily(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert uf.set_count == 1
+
+    def test_set_size(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_sets_partition(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        sets = uf.sets()
+        assert sorted(sorted(s) for s in sets) == [[0, 1], [2, 3, 4], [5]]
+
+    def test_long_chain_path_compression(self):
+        uf = UnionFind(range(3000))
+        for i in range(2999):
+            uf.union(i, i + 1)
+        # find on the far end must not blow the stack and must be fast.
+        assert uf.connected(0, 2999)
+        assert uf.set_count == 1
+
+    def test_contains(self):
+        uf = UnionFind([1])
+        assert 1 in uf
+        assert 2 not in uf
+
+    def test_transitivity(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)

@@ -1,0 +1,153 @@
+"""Tests for the mobility models and position-driven maintenance."""
+
+import pytest
+
+from repro.cds import DynamicCDS
+from repro.geometry import Point
+from repro.graphs import random_connected_udg, unit_disk_graph
+from repro.graphs.mobility import RandomWalk, RandomWaypoint, topology_events
+
+
+def start_positions(n=12, side=4.0, seed=0):
+    import random
+
+    rng = random.Random(seed)
+    return {
+        i: Point(rng.uniform(0, side), rng.uniform(0, side)) for i in range(n)
+    }
+
+
+class TestRandomWaypoint:
+    def test_stays_in_field(self):
+        model = RandomWaypoint(start_positions(), side=4.0, seed=1)
+        for snap in model.snapshots(50):
+            for p in snap.values():
+                assert 0.0 <= p.x <= 4.0 and 0.0 <= p.y <= 4.0
+
+    def test_deterministic(self):
+        a = RandomWaypoint(start_positions(), side=4.0, seed=2)
+        b = RandomWaypoint(start_positions(), side=4.0, seed=2)
+        for snap_a, snap_b in zip(a.snapshots(20), b.snapshots(20)):
+            assert snap_a == snap_b
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypoint(start_positions(), side=4.0, seed=3)
+        first = dict(model.positions)
+        for _ in model.snapshots(30):
+            pass
+        moved = sum(1 for n in first if first[n] != model.positions[n])
+        assert moved >= len(first) // 2
+
+    def test_speed_bound_respected(self):
+        model = RandomWaypoint(
+            start_positions(), side=4.0, speed_range=(0.1, 0.2), seed=4
+        )
+        prev = dict(model.positions)
+        for snap in model.snapshots(25):
+            for node in snap:
+                assert prev[node].distance_to(snap[node]) <= 0.2 + 1e-9
+            prev = snap
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(start_positions(), side=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypoint(start_positions(), side=4.0, speed_range=(0.0, 0.1))
+        with pytest.raises(ValueError):
+            RandomWaypoint({0: Point(9, 9)}, side=4.0)
+
+
+class TestRandomWalk:
+    def test_stays_in_field(self):
+        model = RandomWalk(start_positions(), side=4.0, seed=5)
+        for snap in model.snapshots(60):
+            for p in snap.values():
+                assert 0.0 <= p.x <= 4.0 and 0.0 <= p.y <= 4.0
+
+    def test_step_size_respected(self):
+        model = RandomWalk(start_positions(), side=4.0, step_size=0.15, seed=6)
+        prev = dict(model.positions)
+        for snap in model.snapshots(20):
+            for node in snap:
+                # Reflection can shorten but never lengthen a step.
+                assert prev[node].distance_to(snap[node]) <= 0.15 + 1e-9
+            prev = snap
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            RandomWalk(start_positions(), side=4.0, step_size=0.0)
+
+
+class TestTopologyEvents:
+    def test_detects_appearance_and_disappearance(self):
+        before = {0: Point(0, 0), 1: Point(2, 0), 2: Point(0.5, 0)}
+        after = {0: Point(0, 0), 1: Point(0.9, 0), 2: Point(5, 0)}
+        appeared, disappeared = topology_events(before, after)
+        assert (0, 1) in appeared
+        assert (0, 2) in disappeared
+
+    def test_no_change(self):
+        snap = {0: Point(0, 0), 1: Point(0.5, 0)}
+        assert topology_events(snap, snap) == ([], [])
+
+    def test_mismatched_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            topology_events({0: Point(0, 0)}, {1: Point(0, 0)})
+
+
+class TestMoveNode:
+    def test_move_keeps_cds_valid(self, small_udg):
+        pts, g = small_udg
+        d = DynamicCDS(g)
+        # Move a node next to a far node (if it keeps connectivity).
+        nodes = sorted(g.nodes())
+        mover, anchor = nodes[0], nodes[-1]
+        new_neighbors = [anchor] + [
+            v for v in g.neighbors(anchor) if v != mover
+        ]
+        try:
+            stats = d.move_node(mover, new_neighbors)
+        except ValueError:
+            return  # this instance disconnects; nothing to assert
+        assert d.is_valid()
+
+    def test_move_unknown_rejected(self, path5):
+        with pytest.raises(ValueError):
+            DynamicCDS(path5).move_node(42, [0])
+
+    def test_disconnecting_move_rejected(self, path5):
+        d = DynamicCDS(path5)
+        with pytest.raises(ValueError):
+            d.move_node(2, [])  # path splits
+
+    def test_mobility_driven_maintenance(self):
+        # Full pipeline: random-walk motion, per-tick move_node repairs.
+        positions = start_positions(n=16, side=3.2, seed=7)
+        from repro.graphs import Graph, is_connected
+
+        # Build an id-keyed graph from the initial positions.
+        g = Graph(nodes=positions.keys())
+        nodes = sorted(positions)
+        for i in nodes:
+            for j in nodes:
+                if i < j and positions[i].distance_to(positions[j]) <= 1.0:
+                    g.add_edge(i, j)
+        if not is_connected(g):
+            pytest.skip("unlucky start layout")
+        d = DynamicCDS(g)
+        model = RandomWalk(positions, side=3.2, step_size=0.12, seed=8)
+        applied = 0
+        for snap in model.snapshots(25):
+            for node in nodes:
+                new_nbrs = [
+                    v
+                    for v in nodes
+                    if v != node and snap[node].distance_to(snap[v]) <= 1.0
+                ]
+                try:
+                    d.move_node(node, new_nbrs)
+                    applied += 1
+                except ValueError:
+                    continue  # motion would disconnect; radio keeps old link set
+                assert d.is_valid()
+        assert applied > 0

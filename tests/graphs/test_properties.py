@@ -1,0 +1,105 @@
+"""Unit tests for the set-property validators."""
+
+from repro.graphs import (
+    Graph,
+    has_two_hop_separation,
+    is_connected_dominating_set,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    undominated_nodes,
+)
+
+
+class TestDomination:
+    def test_center_dominates_star(self, star_graph):
+        assert is_dominating_set(star_graph, [0])
+
+    def test_leaf_does_not(self, star_graph):
+        assert not is_dominating_set(star_graph, [1])
+
+    def test_undominated_nodes(self, path5):
+        assert undominated_nodes(path5, [0]) == [2, 3, 4]
+
+    def test_whole_vertex_set_dominates(self, cycle6):
+        assert is_dominating_set(cycle6, range(6))
+
+    def test_foreign_nodes_rejected(self, path5):
+        assert not is_dominating_set(path5, [0, 99])
+
+    def test_empty_set_on_nonempty_graph(self, path5):
+        assert not is_dominating_set(path5, [])
+
+
+class TestIndependence:
+    def test_alternating_path_nodes(self, path5):
+        assert is_independent_set(path5, [0, 2, 4])
+
+    def test_adjacent_pair_rejected(self, path5):
+        assert not is_independent_set(path5, [0, 1])
+
+    def test_empty_is_independent(self, path5):
+        assert is_independent_set(path5, [])
+
+    def test_foreign_nodes_rejected(self, path5):
+        assert not is_independent_set(path5, [99])
+
+    def test_duplicates_tolerated(self, path5):
+        assert is_independent_set(path5, [0, 0, 2])
+
+
+class TestMaximalIndependence:
+    def test_mis_on_path(self, path5):
+        assert is_maximal_independent_set(path5, [0, 2, 4])
+
+    def test_non_maximal_rejected(self, path5):
+        assert not is_maximal_independent_set(path5, [0])  # 2,3,4 undominated
+        assert not is_maximal_independent_set(path5, [2])  # 0,4 undominated
+
+    def test_non_independent_rejected(self, path5):
+        assert not is_maximal_independent_set(path5, [0, 1, 3])
+
+    def test_mis_equivalence_with_domination(self, cycle6):
+        # For independent sets, maximality == domination.
+        mis = [0, 2, 4]
+        assert is_independent_set(cycle6, mis)
+        assert is_dominating_set(cycle6, mis)
+        assert is_maximal_independent_set(cycle6, mis)
+
+
+class TestTwoHopSeparation:
+    def test_path_mis_has_it(self, path5):
+        assert has_two_hop_separation(path5, [0, 2, 4])
+
+    def test_far_apart_independent_set_lacks_it(self):
+        g = Graph(edges=[(i, i + 1) for i in range(6)])  # path of 7
+        assert not has_two_hop_separation(g, [0, 6])
+
+    def test_small_sets_trivially_pass(self, path5):
+        assert has_two_hop_separation(path5, [])
+        assert has_two_hop_separation(path5, [2])
+
+
+class TestCDS:
+    def test_path_interior(self, path5):
+        assert is_connected_dominating_set(path5, [1, 2, 3])
+
+    def test_disconnected_dominating_set_rejected(self, path5):
+        assert not is_connected_dominating_set(path5, [1, 3])
+
+    def test_connected_non_dominating_rejected(self, path5):
+        assert not is_connected_dominating_set(path5, [0, 1])
+
+    def test_empty_rejected(self, path5):
+        assert not is_connected_dominating_set(path5, [])
+
+    def test_single_node_graph(self):
+        g = Graph(nodes=["v"])
+        assert is_connected_dominating_set(g, ["v"])
+
+    def test_single_dominator(self, star_graph):
+        assert is_connected_dominating_set(star_graph, [0])
+
+    def test_bridge_graph(self, two_triangles_bridge):
+        assert is_connected_dominating_set(two_triangles_bridge, [2, 3])
+        assert not is_connected_dominating_set(two_triangles_bridge, [0, 4])

@@ -1,0 +1,113 @@
+"""Unit tests for the unit-disk-graph builders."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.graphs import (
+    communication_radius_graph,
+    quasi_unit_disk_graph,
+    unit_disk_graph,
+    unit_disk_graph_naive,
+    uniform_points,
+)
+
+
+def edge_set(graph):
+    return {frozenset(e) for e in graph.edges()}
+
+
+class TestUnitDiskGraph:
+    def test_edge_iff_distance_at_most_one(self):
+        a, b, c = Point(0, 0), Point(1, 0), Point(2.5, 0)
+        g = unit_disk_graph([a, b, c])
+        assert g.has_edge(a, b)  # distance exactly 1: edge
+        assert not g.has_edge(b, c)
+        assert not g.has_edge(a, c)
+
+    def test_matches_naive_on_random_points(self):
+        for seed in range(5):
+            pts = uniform_points(60, 5.0, seed=seed)
+            fast = unit_disk_graph(pts)
+            slow = unit_disk_graph_naive(pts)
+            assert edge_set(fast) == edge_set(slow)
+
+    def test_matches_naive_other_radius(self):
+        pts = uniform_points(40, 5.0, seed=3)
+        assert edge_set(unit_disk_graph(pts, radius=1.7)) == edge_set(
+            unit_disk_graph_naive(pts, radius=1.7)
+        )
+
+    def test_cross_bucket_edges_found(self):
+        # Points in adjacent grid buckets, still within distance 1.
+        a, b = Point(0.99, 0.5), Point(1.01, 0.5)
+        g = unit_disk_graph([a, b])
+        assert g.has_edge(a, b)
+
+    def test_diagonal_bucket_edges_found(self):
+        a, b = Point(0.99, 0.99), Point(1.01, 1.01)
+        g = unit_disk_graph([a, b])
+        assert g.has_edge(a, b)
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            unit_disk_graph([Point(0, 0), Point(0, 0)])
+
+    def test_empty(self):
+        g = unit_disk_graph([])
+        assert len(g) == 0
+
+    def test_singleton(self):
+        g = unit_disk_graph([Point(0, 0)])
+        assert len(g) == 1 and g.edge_count() == 0
+
+    def test_nodes_are_the_points(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        g = unit_disk_graph(pts)
+        assert set(g.nodes()) == set(pts)
+
+    def test_zero_radius(self):
+        g = unit_disk_graph([Point(0, 0), Point(1, 1)], radius=0.0)
+        assert g.edge_count() == 0
+
+
+class TestCommunicationRadius:
+    def test_scaled_radius(self):
+        pts = [Point(0, 0), Point(30, 0), Point(70, 0)]
+        g = communication_radius_graph(pts, radius=40.0)
+        assert g.has_edge(pts[0], pts[1])
+        assert g.has_edge(pts[1], pts[2])
+        assert not g.has_edge(pts[0], pts[2])
+
+
+class TestQuasiUDG:
+    def test_inner_edges_always_present(self):
+        pts = [Point(0, 0), Point(0.5, 0)]
+        g = quasi_unit_disk_graph(pts, inner_radius=0.75)
+        assert g.has_edge(pts[0], pts[1])
+
+    def test_outer_edges_never_present(self):
+        pts = [Point(0, 0), Point(1.2, 0)]
+        g = quasi_unit_disk_graph(pts)
+        assert not g.has_edge(pts[0], pts[1])
+
+    def test_deterministic_per_seed(self):
+        pts = uniform_points(40, 4.0, seed=1)
+        g1 = quasi_unit_disk_graph(pts, seed=5)
+        g2 = quasi_unit_disk_graph(pts, seed=5)
+        assert edge_set(g1) == edge_set(g2)
+
+    def test_subgraph_of_udg(self):
+        pts = uniform_points(40, 4.0, seed=2)
+        quasi = quasi_unit_disk_graph(pts)
+        full = unit_disk_graph(pts)
+        assert edge_set(quasi) <= edge_set(full)
+
+    def test_supergraph_of_inner_udg(self):
+        pts = uniform_points(40, 4.0, seed=2)
+        quasi = quasi_unit_disk_graph(pts, inner_radius=0.75)
+        inner = unit_disk_graph(pts, radius=0.75)
+        assert edge_set(inner) <= edge_set(quasi)
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            quasi_unit_disk_graph([], inner_radius=1.5, outer_radius=1.0)

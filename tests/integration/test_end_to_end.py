@@ -1,0 +1,103 @@
+"""Integration tests: whole pipelines on realistic deployments."""
+
+from repro.baselines import ALL_BASELINES
+from repro.cds import (
+    greedy_connector_cds,
+    minimum_cds,
+    prune_cds,
+    steiner_cds,
+    waf_cds,
+)
+from repro.graphs import (
+    chain_points,
+    clustered_points,
+    corridor_points,
+    is_connected,
+    is_connected_dominating_set,
+    largest_component_udg,
+    quasi_unit_disk_graph,
+    random_connected_udg,
+    unit_disk_graph,
+)
+
+
+class TestFullStackOnDeploymentFamilies:
+    def test_uniform_deployment_all_algorithms(self):
+        pts, g = random_connected_udg(60, 6.5, seed=3)
+        results = {
+            "waf": waf_cds(g),
+            "greedy": greedy_connector_cds(g),
+            "steiner": steiner_cds(g),
+        }
+        for name, fn in ALL_BASELINES.items():
+            results[name] = fn(g)
+        for name, result in results.items():
+            assert result.is_valid(g), name
+
+    def test_clustered_deployment(self):
+        pts = clustered_points(70, 7.0, clusters=5, spread=0.6, seed=2)
+        kept, g = largest_component_udg(pts)
+        if len(g) < 5:
+            return
+        assert waf_cds(g).is_valid(g)
+        assert greedy_connector_cds(g).is_valid(g)
+
+    def test_corridor_deployment(self):
+        pts = corridor_points(50, 20.0, 1.5, seed=4)
+        kept, g = largest_component_udg(pts)
+        if len(g) < 5:
+            return
+        waf = waf_cds(g)
+        greedy = greedy_connector_cds(g)
+        assert waf.is_valid(g) and greedy.is_valid(g)
+        # Corridors force long backbones: the CDS is a large fraction.
+        assert greedy.size >= len(g) // 10
+
+    def test_chain_worst_case_family(self):
+        for n in (5, 10, 20, 35):
+            g = unit_disk_graph(chain_points(n, 1.0))
+            waf = waf_cds(g)
+            greedy = greedy_connector_cds(g)
+            assert waf.is_valid(g) and greedy.is_valid(g)
+            # gamma_c of an n-chain is n-2; both stay within ~1x of it.
+            assert greedy.size <= n
+            assert waf.size <= n
+
+
+class TestPipelineComposition:
+    def test_prune_after_each_algorithm(self):
+        _, g = random_connected_udg(40, 5.5, seed=9)
+        for algorithm in (waf_cds, greedy_connector_cds, steiner_cds):
+            result = algorithm(g)
+            pruned = prune_cds(g, result.nodes)
+            assert is_connected_dominating_set(g, pruned)
+            assert len(pruned) <= result.size
+
+    def test_heuristic_as_upper_bound_for_exact(self):
+        _, g = random_connected_udg(18, 3.6, seed=5)
+        ub = greedy_connector_cds(g).size
+        opt = minimum_cds(g, upper_bound=ub)
+        assert len(opt) <= ub
+
+    def test_quasi_udg_robustness(self):
+        # The algorithms' correctness (not ratio) survives quasi-UDGs.
+        pts, _ = random_connected_udg(40, 5.0, seed=11)
+        quasi = quasi_unit_disk_graph(pts, inner_radius=0.7, seed=1)
+        if not is_connected(quasi):
+            kept, quasi = largest_component_udg(pts)
+        # 2-hop separation still holds for any MIS, so both phase-2
+        # rules still terminate with a CDS.
+        assert waf_cds(quasi).is_valid(quasi)
+        assert greedy_connector_cds(quasi).is_valid(quasi)
+
+    def test_broadcast_backbone_use_case(self):
+        # The motivating application: flooding via the CDS reaches all
+        # nodes, with far fewer transmitting nodes than blind flooding.
+        _, g = random_connected_udg(80, 5.5, seed=13)
+        backbone = greedy_connector_cds(g)
+        covered = set()
+        for v in backbone.nodes:
+            covered.add(v)
+            covered.update(g.neighbors(v))
+        assert covered == set(g.nodes())
+        assert backbone.size < len(g) / 2

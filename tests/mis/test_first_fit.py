@@ -1,0 +1,83 @@
+"""Unit tests for the BFS first-fit MIS (phase 1)."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    has_two_hop_separation,
+    is_maximal_independent_set,
+)
+from repro.mis import FirstFitMIS, first_fit_mis, first_fit_mis_in_order
+
+
+class TestFirstFitInOrder:
+    def test_path_natural_order(self, path5):
+        assert first_fit_mis_in_order(path5, [0, 1, 2, 3, 4]) == [0, 2, 4]
+
+    def test_order_matters(self, path5):
+        assert first_fit_mis_in_order(path5, [1, 0, 2, 3, 4]) == [1, 3]
+
+    def test_result_is_mis(self, cycle6):
+        mis = first_fit_mis_in_order(cycle6, list(range(6)))
+        assert is_maximal_independent_set(cycle6, mis)
+
+
+class TestFirstFitMIS:
+    def test_root_always_selected(self, path5):
+        mis = first_fit_mis(path5, root=2)
+        assert 2 in mis
+
+    def test_default_root_is_min(self, path5):
+        mis = first_fit_mis(path5)
+        assert mis.tree.root == 0
+
+    def test_is_maximal_independent(self, small_udg):
+        _, g = small_udg
+        mis = first_fit_mis(g)
+        assert is_maximal_independent_set(g, mis.nodes)
+
+    def test_two_hop_separation(self, udg_suite):
+        for _, g in udg_suite:
+            mis = first_fit_mis(g)
+            assert has_two_hop_separation(g, mis.nodes)
+
+    def test_bfs_selection_order_respects_depth(self, small_udg):
+        # First-fit in BFS order: selection order never goes back to a
+        # strictly smaller depth once a deeper node was selected.
+        _, g = small_udg
+        mis = first_fit_mis(g)
+        depths = [mis.tree.depth[v] for v in mis.nodes]
+        assert depths == sorted(depths)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            first_fit_mis(Graph())
+
+    def test_disconnected_raises(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        with pytest.raises(ValueError):
+            first_fit_mis(g)
+
+    def test_single_node(self):
+        g = Graph(nodes=[7])
+        mis = first_fit_mis(g)
+        assert list(mis.nodes) == [7]
+
+    def test_result_container_protocol(self, path5):
+        mis = first_fit_mis(path5)
+        assert isinstance(mis, FirstFitMIS)
+        assert len(mis) == 3
+        assert mis[0] == 0
+        assert 0 in mis
+        assert mis.as_set() == {0, 2, 4}
+
+    def test_no_mis_nodes_at_depth_one(self, udg_suite):
+        # The root is in I, so its neighbors (depth 1) never are.
+        for _, g in udg_suite:
+            mis = first_fit_mis(g)
+            for v in mis.nodes:
+                assert mis.tree.depth[v] != 1
+
+    def test_deterministic(self, small_udg):
+        _, g = small_udg
+        assert first_fit_mis(g).nodes == first_fit_mis(g).nodes

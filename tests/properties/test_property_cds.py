@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the CDS algorithms.
+
+These are the paper's invariants stated as properties over randomly
+generated connected UDGs: every algorithm returns a valid CDS, the
+greedy trace always satisfies Lemma 9's floor, both paper algorithms
+respect their ratio bounds against the exact optimum, and Corollary 7
+holds for exact alpha/gamma_c.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import prefix_decomposition
+from repro.cds import (
+    connected_domination_number,
+    gain_of,
+    greedy_connector_cds,
+    minimum_cds,
+    waf_cds,
+)
+from repro.cds.bounds import (
+    alpha_bound_this_paper,
+    greedy_bound_this_paper,
+    lemma9_min_gain,
+    waf_bound_this_paper,
+)
+from repro.graphs import (
+    is_connected_dominating_set,
+    random_connected_udg,
+)
+from repro.mis import independence_number
+
+
+def udg_instances():
+    """Strategy: small connected random UDGs (seeded, so shrinkable)."""
+    return st.tuples(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=10_000),
+    ).map(
+        lambda t: random_connected_udg(
+            t[0], side=max(1.0, 0.8 * t[0] ** 0.5), seed=t[1], max_attempts=500
+        )[1]
+    )
+
+
+class TestAlgorithmValidity:
+    @settings(max_examples=30, deadline=None)
+    @given(udg_instances())
+    def test_waf_valid(self, g):
+        assert waf_cds(g).is_valid(g)
+
+    @settings(max_examples=30, deadline=None)
+    @given(udg_instances())
+    def test_greedy_valid(self, g):
+        assert greedy_connector_cds(g).is_valid(g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(udg_instances())
+    def test_minimum_cds_valid_and_minimal(self, g):
+        opt = minimum_cds(g)
+        assert is_connected_dominating_set(g, opt)
+        assert len(opt) <= waf_cds(g).size
+
+
+class TestPaperBounds:
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_theorem8(self, g):
+        gamma_c = connected_domination_number(g)
+        assert waf_cds(g).size <= float(waf_bound_this_paper(gamma_c))
+
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_theorem10(self, g):
+        gamma_c = connected_domination_number(g)
+        assert greedy_connector_cds(g).size <= float(greedy_bound_this_paper(gamma_c))
+
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_corollary7(self, g):
+        alpha = independence_number(g)
+        gamma_c = connected_domination_number(g)
+        assert alpha <= float(alpha_bound_this_paper(gamma_c))
+
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_lemma9_along_trace(self, g):
+        result = greedy_connector_cds(g)
+        gamma_c = connected_domination_number(g)
+        q = result.meta["q_history"]
+        for i, gain in enumerate(result.meta["gain_history"]):
+            assert gain >= lemma9_min_gain(q[i], gamma_c)
+
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_theorem10_prefix_caps(self, g):
+        result = greedy_connector_cds(g)
+        gamma_c = connected_domination_number(g)
+        d = prefix_decomposition(result.meta["q_history"], gamma_c)
+        assert all(check.holds for check in d.checks())
+
+
+class TestGreedyMechanics:
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_selected_connector_had_max_gain(self, g):
+        result = greedy_connector_cds(g)
+        included = set(result.dominators)
+        for w, gain in zip(result.connectors, result.meta["gain_history"]):
+            best = max(gain_of(g, included, x) for x in g.nodes() if x not in included)
+            assert gain == best
+            included.add(w)
+
+    @settings(max_examples=25, deadline=None)
+    @given(udg_instances())
+    def test_phases_partition_result(self, g):
+        for result in (waf_cds(g), greedy_connector_cds(g)):
+            doms = set(result.dominators)
+            conns = set(result.connectors)
+            assert doms | conns == set(result.nodes)
+            assert not doms & conns

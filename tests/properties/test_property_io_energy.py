@@ -1,0 +1,92 @@
+"""Property-based tests for persistence and energy accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.energy import EnergyModel
+from repro.geometry import Point
+from repro.graphs import Graph
+from repro.io import load_points, save_points
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.builds(Point, coords, coords), max_size=40)
+
+
+class TestIOProperties:
+    @settings(max_examples=40)
+    @given(point_lists)
+    def test_points_roundtrip_exactly(self, pts):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "pts.csv"
+            save_points(pts, path)
+            assert load_points(path) == pts
+
+    @settings(max_examples=20)
+    @given(point_lists)
+    def test_csv_line_count(self, pts):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "pts.csv"
+            save_points(pts, path)
+            lines = path.read_text().strip().splitlines()
+            assert len(lines) == len(pts) + 1  # header
+
+
+def graphs_with_duty():
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=12))
+        g = Graph(nodes=range(n))
+        for v in range(1, n):
+            g.add_edge(v, draw(st.integers(min_value=0, max_value=v - 1)))
+        duty = draw(st.lists(st.integers(min_value=0, max_value=n - 1), max_size=8))
+        epochs = draw(st.integers(min_value=0, max_value=10))
+        return g, duty, epochs
+
+    return build()
+
+
+class TestEnergyProperties:
+    @settings(max_examples=50)
+    @given(graphs_with_duty())
+    def test_total_energy_conservation(self, case):
+        g, duty, epochs = case
+        model = EnergyModel(g, initial=1000.0, relay_cost=3.0, idle_cost=1.0)
+        start_total = sum(model.charge.values())
+        duty_set = set(duty)
+        for _ in range(epochs):
+            model.spend_epoch(duty_set)
+        spent = epochs * (len(g) * 1.0 + len(duty_set) * 3.0)
+        assert sum(model.charge.values()) == start_total - spent
+
+    @settings(max_examples=50)
+    @given(graphs_with_duty())
+    def test_charge_monotone_decreasing(self, case):
+        g, duty, epochs = case
+        model = EnergyModel(g, initial=1000.0)
+        previous = dict(model.charge)
+        for _ in range(epochs):
+            model.spend_epoch(set(duty))
+            assert all(model.charge[v] <= previous[v] for v in model.charge)
+            previous = dict(model.charge)
+
+    @settings(max_examples=30)
+    @given(graphs_with_duty())
+    def test_weights_positive_and_inverse_ordered(self, case):
+        g, duty, epochs = case
+        model = EnergyModel(g, initial=100.0, relay_cost=5.0)
+        for _ in range(min(epochs, 3)):
+            model.spend_epoch(set(duty))
+        weights = model.weights()
+        assert all(w > 0 for w in weights.values())
+        nodes = list(g.nodes())
+        for a in nodes:
+            for b in nodes:
+                if model.charge[a] > model.charge[b] > 0:
+                    assert weights[a] <= weights[b]

