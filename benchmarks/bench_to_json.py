@@ -1,0 +1,138 @@
+"""Export the standing performance baseline to ``BENCH_baseline.json``.
+
+A plain script (not a pytest bench): it rebuilds the three shared
+benchmark fixtures (20/60/150-node connected UDGs, same parameters as
+``conftest.py``), times the UDG builders and both of the paper's
+algorithms on each, captures one instrumented run's counters per case,
+and writes everything as JSON — the file future optimisation PRs
+compare against.
+
+Timing runs are executed with instrumentation *disabled* so the
+baseline measures the algorithms, not the bookkeeping; a separate
+enabled run supplies the operation counts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py            # repo root
+    PYTHONPATH=src python benchmarks/bench_to_json.py -o out.json --repeats 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.cds import greedy_connector_cds, waf_cds
+from repro.graphs import random_connected_udg
+from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
+from repro.obs import OBS, RunRecord
+
+SCHEMA_ID = "repro.obs/bench-baseline/v1"
+
+#: The shared fixtures of ``benchmarks/conftest.py``: name -> (n, side, seed).
+FIXTURES: dict[str, tuple[int, float, int]] = {
+    "udg20": (20, 3.8, 1),
+    "udg60": (60, 6.2, 2),
+    "udg150": (150, 8.0, 3),
+}
+
+
+def _cases(points, graph):
+    """The benchmarked callables for one fixture."""
+    return {
+        "udg_build_naive": lambda: unit_disk_graph_naive(points),
+        "udg_build_grid": lambda: unit_disk_graph(points),
+        "waf": lambda: waf_cds(graph),
+        "greedy": lambda: greedy_connector_cds(graph),
+    }
+
+
+def _result_sizes(value) -> dict:
+    if hasattr(value, "size"):  # a CDSResult
+        return {
+            "cds_size": value.size,
+            "dominators": len(value.dominators),
+            "connectors": len(value.connectors),
+        }
+    return {"nodes": len(value), "edges": value.edge_count()}
+
+
+def run_case(name: str, fixture: str, fn, repeats: int) -> RunRecord:
+    """Time ``fn`` (instrumentation off) and count it (one run, on)."""
+    n, side, seed = FIXTURES[fixture]
+    fn()  # warmup
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        samples.append(time.perf_counter() - t0)
+    with OBS.capture() as reg:
+        fn()
+        record = RunRecord.from_registry(
+            reg,
+            algorithm=name,
+            instance={"fixture": fixture, "n": n, "side": side},
+            seed=seed,
+            results=_result_sizes(value),
+            meta={
+                "repeats": repeats,
+                "seconds_best": min(samples),
+                "seconds_mean": statistics.fmean(samples),
+                "seconds_median": statistics.median(samples),
+            },
+        )
+    return record
+
+
+def build_baseline(repeats: int) -> dict:
+    records = []
+    for fixture in FIXTURES:
+        n, side, seed = FIXTURES[fixture]
+        points, graph = random_connected_udg(n, side, seed=seed)
+        for name, fn in _cases(points, graph).items():
+            records.append(run_case(f"{name}/{fixture}", fixture, fn, repeats))
+    return {
+        "schema": SCHEMA_ID,
+        "version": __version__,
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "fixtures": {
+            name: {"n": n, "side": side, "seed": seed}
+            for name, (n, side, seed) in FIXTURES.items()
+        },
+        "runs": [r.to_json_obj() for r in records],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_baseline.json"),
+        help="output path (default: <repo root>/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7, help="timing repetitions per case"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = build_baseline(args.repeats)
+    Path(args.out).write_text(json.dumps(baseline, indent=2) + "\n")
+    slowest = max(baseline["runs"], key=lambda r: r["meta"]["seconds_median"])
+    print(
+        f"{len(baseline['runs'])} cases -> {args.out} "
+        f"(slowest: {slowest['algorithm']} "
+        f"{slowest['meta']['seconds_median'] * 1e3:.2f} ms median)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,11 @@ algorithm wins) and times the computation with pytest-benchmark.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+The ``obs`` fixture exposes the instrumentation registry to benches
+that want to assert operation counts, and ``bench_to_json.py`` (a
+plain script, not a pytest bench) exports the standing timing baseline
+to ``BENCH_baseline.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -15,6 +20,25 @@ from __future__ import annotations
 import pytest
 
 from repro.graphs import random_connected_udg
+
+
+@pytest.fixture()
+def obs():
+    """The default ``repro.obs`` registry, reset and enabled per test.
+
+    Benches opt in to counter assertions with it::
+
+        def test_case(benchmark, udg60, obs):
+            ...
+            assert obs.counters()["gain.evaluations"] > 0
+
+    Tracing is restored to its prior state afterwards so timing-only
+    benches stay un-instrumented.
+    """
+    from repro.obs import OBS
+
+    with OBS.capture() as registry:
+        yield registry
 
 
 @pytest.fixture(scope="session")

@@ -15,6 +15,11 @@ one component because ``I`` is maximal, hence dominating); for
 greedy phase costs ``O(Σ deg)`` per selection instead of recomputing
 components from scratch — the ablation benchmark
 ``bench_gain_incremental`` measures exactly this design choice.
+
+When :data:`repro.obs.OBS` is enabled, the tracker reports
+``gain.evaluations`` (gain computations per :meth:`GainTracker.best_connector`
+scan — the per-selection work Theorem 10's analysis charges) and
+``gain.dsu_unions`` (union-find merges per :meth:`GainTracker.add`).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Hashable, Iterable, TypeVar
 
 from ..graphs.components import UnionFind
 from ..graphs.graph import Graph
+from ..obs import OBS
 
 N = TypeVar("N", bound=Hashable)
 
@@ -121,6 +127,8 @@ class GainTracker:
         self._dsu.add(w)
         for r in roots:
             self._dsu.union(w, r)
+        if OBS.enabled:
+            OBS.incr("gain.dsu_unions", len(roots))
         return max(0, len(roots) - 1)
 
     def best_connector(self, tie_break: str = "min") -> tuple[N, int]:
@@ -145,14 +153,18 @@ class GainTracker:
             raise ValueError("already connected; no connector needed")
         best_node: N | None = None
         best_gain = 0
+        evaluations = 0
         for w in self._graph:
             if w in self._included:
                 continue
             g = self.gain(w)
+            evaluations += 1
             if g > best_gain or (
                 g == best_gain > 0 and self._wins_tie(w, best_node, tie_break)
             ):
                 best_node, best_gain = w, g
+        if OBS.enabled:
+            OBS.incr("gain.evaluations", evaluations)
         if best_node is None or best_gain < 1:
             raise ValueError(
                 "no node with positive gain: dominators lack 2-hop separation "

@@ -19,6 +19,7 @@ from typing import Hashable, Iterable, TypeVar
 
 from ..graphs.graph import Graph
 from ..mis.first_fit import first_fit_mis
+from ..obs import OBS, trace
 from .base import CDSResult
 from .gain import GainTracker
 
@@ -55,6 +56,8 @@ def greedy_connectors(
         connectors.append(w)
         gains.append(g)
         q_values.append(tracker.component_count)
+    if OBS.enabled:
+        OBS.incr("greedy.connectors_chosen", len(connectors))
     return connectors, gains, q_values
 
 
@@ -83,8 +86,10 @@ def greedy_connector_cds(
             dominators=(only,),
             connectors=(),
         )
-    mis = first_fit_mis(graph, root)
-    connectors, gains, q_values = greedy_connectors(graph, mis.nodes, tie_break)
+    with trace("greedy.phase1"):
+        mis = first_fit_mis(graph, root)
+    with trace("greedy.phase2"):
+        connectors, gains, q_values = greedy_connectors(graph, mis.nodes, tie_break)
     nodes = frozenset(mis.nodes) | frozenset(connectors)
     return CDSResult(
         algorithm="greedy-connector",

@@ -24,6 +24,7 @@ from typing import Hashable, TypeVar
 
 from ..graphs.graph import Graph
 from ..mis.first_fit import FirstFitMIS, first_fit_mis
+from ..obs import OBS, trace
 from .base import CDSResult
 
 N = TypeVar("N", bound=Hashable)
@@ -45,7 +46,11 @@ def waf_connectors(graph: Graph[N], mis: FirstFitMIS) -> list[N]:
         return []
     # s: the root's neighbor adjacent to the most MIS nodes; ties to the
     # smallest node for determinism.
+    evaluations = 0
+
     def coverage(u: N) -> int:
+        nonlocal evaluations
+        evaluations += 1
         return sum(1 for w in graph.neighbors(u) if w in mis_set)
 
     best = max(coverage(u) for u in root_neighbors)
@@ -61,6 +66,9 @@ def waf_connectors(graph: Graph[N], mis: FirstFitMIS) -> list[N]:
         if p not in seen and p not in mis_set:
             connectors.append(p)
             seen.add(p)
+    if OBS.enabled:
+        OBS.incr("waf.coverage_evaluations", evaluations)
+        OBS.incr("waf.connectors_chosen", len(connectors))
     return connectors
 
 
@@ -87,8 +95,10 @@ def waf_cds(
         return CDSResult(
             algorithm="waf", nodes=frozenset([only]), dominators=(only,), connectors=()
         )
-    mis = first_fit_mis(graph, root, tree_kind)
-    connectors = waf_connectors(graph, mis)
+    with trace("waf.phase1"):
+        mis = first_fit_mis(graph, root, tree_kind)
+    with trace("waf.phase2"):
+        connectors = waf_connectors(graph, mis)
     nodes = frozenset(mis.nodes) | frozenset(connectors)
     return CDSResult(
         algorithm="waf",

@@ -15,6 +15,14 @@ Two modes:
       python -m repro solve deploy.csv --algorithm greedy --viz
       python -m repro solve deploy.csv --algorithm waf --prune \
           --out backbone.json
+
+Both modes accept ``--trace`` (print the instrumentation report after
+the run) and ``--stats-out FILE`` (write a schema-checked
+:class:`repro.obs.RunRecord` JSON — see ``docs/observability.md``)::
+
+      python -m repro T8 --stats-out rec.json
+      python -m repro solve deploy.csv --algorithm greedy --trace \
+          --stats-out rec.json
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ def _experiments_main(argv: Sequence[str]) -> int:
         metavar="DIR",
         help="also write each result table as CSV into this directory",
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     registry = all_experiments()
@@ -74,26 +83,78 @@ def _experiments_main(argv: Sequence[str]) -> int:
             print(f"{key:6s} {title}")
         return 0
 
+    from .obs import OBS
+
+    if args.trace or args.stats_out:
+        OBS.reset()
+        OBS.enable()
+
     ids = sorted(registry) if args.all else args.experiments
     failed: list[str] = []
+    ran: list[str] = []
     for experiment_id in ids:
         try:
             fn = get_experiment(experiment_id)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-        result = fn()
+        with OBS.time(f"experiment.{fn.experiment_id}"):
+            result = fn()
+        ran.append(result.experiment_id)
         print(result.render())
         print()
         if args.csv:
             _write_csv(result, args.csv)
         if not result.passed:
             failed.append(result.experiment_id)
+    _emit_obs(
+        args,
+        algorithm="experiments" if len(ran) != 1 else f"experiment:{ran[0]}",
+        instance={"experiments": ran},
+        results={"ran": len(ran), "failed": failed},
+    )
     if failed:
         print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
         return 1
     print(f"all {len(ids)} experiment(s) passed")
     return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect instrumentation and print the counter/timer report",
+    )
+    parser.add_argument(
+        "--stats-out",
+        metavar="FILE",
+        help="write a repro.obs RunRecord (JSON) describing this run",
+    )
+
+
+def _emit_obs(args, *, algorithm: str, instance: dict, results: dict,
+              seed: int | None = None) -> None:
+    """Print the ``--trace`` report and/or write the ``--stats-out`` record."""
+    if not (args.trace or args.stats_out):
+        return
+    from . import __version__
+    from .obs import OBS, RunRecord, render_report
+
+    if args.trace:
+        print(render_report(OBS))
+    if args.stats_out:
+        record = RunRecord.from_registry(
+            OBS,
+            algorithm=algorithm,
+            instance=instance,
+            seed=seed,
+            results=results,
+            meta={"argv": list(sys.argv[1:]), "version": __version__},
+        )
+        record.write(args.stats_out)
+        print(f"run record written to {args.stats_out}")
+    OBS.disable()
 
 
 def _solve_main(argv: Sequence[str]) -> int:
@@ -121,6 +182,7 @@ def _solve_main(argv: Sequence[str]) -> int:
         action="store_true",
         help="also report |CDS|/gamma_c (exact for small n, else a lower bound)",
     )
+    _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     from .analysis.ratios import estimate_gamma_c
@@ -129,6 +191,11 @@ def _solve_main(argv: Sequence[str]) -> int:
     from .graphs.traversal import is_connected
     from .graphs.udg import unit_disk_graph
     from .io import load_points, save_result
+    from .obs import OBS
+
+    if args.trace or args.stats_out:
+        OBS.reset()
+        OBS.enable()
 
     try:
         points = load_points(args.deployment)
@@ -147,7 +214,8 @@ def _solve_main(argv: Sequence[str]) -> int:
         )
         points = kept
 
-    result = solvers[args.algorithm](graph)
+    with OBS.time("solve.total"):
+        result = solvers[args.algorithm](graph)
     if not result.is_valid(graph):
         print(f"{args.algorithm} produced an invalid CDS (bug)", file=sys.stderr)
         return 1
@@ -171,6 +239,20 @@ def _solve_main(argv: Sequence[str]) -> int:
     if args.out:
         save_result(result, args.out)
         print(f"result written to {args.out}")
+    _emit_obs(
+        args,
+        algorithm=result.algorithm,
+        instance={
+            "source": args.deployment,
+            "nodes": len(graph),
+            "edges": graph.edge_count(),
+        },
+        results={
+            "cds_size": result.size,
+            "dominators": len(result.dominators),
+            "connectors": len(result.connectors),
+        },
+    )
     return 0
 
 

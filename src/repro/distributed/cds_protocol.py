@@ -20,6 +20,7 @@ from typing import Hashable
 
 from ..graphs.graph import Graph
 from ..cds.base import CDSResult
+from ..obs import OBS, trace
 from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
 from .leader import elect_leader
 from .bfs_tree import DistributedTree, build_bfs_tree
@@ -141,10 +142,11 @@ def distributed_waf_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
             ),
             SimMetrics(),
         )
-    leader, m1 = elect_leader(graph)
-    tree, m2 = build_bfs_tree(graph, leader)
-    dominators, m3 = elect_mis(graph, tree)
-    connectors, m4 = _waf_connector_phase(graph, tree, dominators)
+    with trace("distributed.waf"):
+        leader, m1 = elect_leader(graph)
+        tree, m2 = build_bfs_tree(graph, leader)
+        dominators, m3 = elect_mis(graph, tree)
+        connectors, m4 = _waf_connector_phase(graph, tree, dominators)
     metrics = m1.merge(m2).merge(m3).merge(m4)
     result = CDSResult(
         algorithm="waf-distributed",
@@ -315,14 +317,17 @@ def distributed_greedy_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
             ),
             SimMetrics(),
         )
-    leader, m1 = elect_leader(graph)
-    tree, m2 = build_bfs_tree(graph, leader)
-    dominators, m3 = elect_mis(graph, tree)
+    with trace("distributed.greedy.setup"):
+        leader, m1 = elect_leader(graph)
+        tree, m2 = build_bfs_tree(graph, leader)
+        dominators, m3 = elect_mis(graph, tree)
     metrics = m1.merge(m2).merge(m3)
 
     backbone: set = set(dominators)
     connectors: list = []
+    iterations = 0
     while True:
+        iterations += 1
         labels, heard, m_label = flood_min_labels(graph, backbone)
         metrics = metrics.merge(m_label)
         if len(set(labels.values())) <= 1:
@@ -347,6 +352,8 @@ def distributed_greedy_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
         backbone.add(winner)
         connectors.append(winner)
 
+    if OBS.enabled:
+        OBS.incr("distributed.greedy.iterations", iterations)
     result = CDSResult(
         algorithm="greedy-distributed",
         nodes=frozenset(backbone),

@@ -15,7 +15,10 @@ provides the standard synchronous model those analyses assume:
 Protocols subclass :class:`NodeProcess` and react to ``on_start`` /
 ``on_message`` / ``on_round``.  The simulator runs until quiescence
 (no messages in flight and no node asked to stay active) or a round
-cap, and records :class:`SimMetrics`.
+cap, and records :class:`SimMetrics`.  When :data:`repro.obs.OBS` is
+enabled, each completed run also mirrors its totals into the registry
+(``sim.rounds``, ``sim.transmissions``, ``sim.receptions``, and one
+``sim.msg.<kind>`` counter per message kind).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping, TypeVar
 
 from ..graphs.graph import Graph
+from ..obs import OBS
 
 N = TypeVar("N", bound=Hashable)
 
@@ -186,4 +190,11 @@ class Simulator:
             # Round tick.
             for node_id, proc in self.processes.items():
                 proc.on_round(Context(self, node_id))
+        if OBS.enabled:
+            OBS.incr("sim.runs")
+            OBS.incr("sim.rounds", self.metrics.rounds)
+            OBS.incr("sim.transmissions", self.metrics.transmissions)
+            OBS.incr("sim.receptions", self.metrics.receptions)
+            for kind, count in self.metrics.by_kind.items():
+                OBS.incr(f"sim.msg.{kind}", count)
         return self.metrics

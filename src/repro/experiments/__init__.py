@@ -1,6 +1,13 @@
 """Experiment modules, one per paper artifact (see DESIGN.md's index)."""
 
-from .harness import ExperimentResult, Table, all_experiments, experiment, get_experiment
+from .harness import (
+    ExperimentResult,
+    Table,
+    all_experiments,
+    experiment,
+    get_experiment,
+    run_recorded,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -8,4 +15,5 @@ __all__ = [
     "all_experiments",
     "experiment",
     "get_experiment",
+    "run_recorded",
 ]

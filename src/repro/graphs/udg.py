@@ -12,6 +12,12 @@ makes the larger benchmark sweeps feasible.  A quasi-UDG variant
 (edges certain below an inner radius, absent above 1, arbitrary —
 here: pseudorandom — in between) is included for robustness
 experiments, since real radios are not perfect disks.
+
+Both exact builders reject duplicate points (two radios at identical
+coordinates collapse into one UDG node, corrupting size accounting) and,
+when :data:`repro.obs.OBS` is enabled, report ``udg.<builder>.pairs_tested``
+vs ``udg.<builder>.edges_emitted`` — the quantities that make the
+naive-vs-grid trade-off measurable instead of folklore.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import math
 from typing import Sequence
 
 from ..geometry.point import EPS, Point
+from ..obs import OBS, trace
 from .graph import Graph
 
 __all__ = [
@@ -33,17 +40,26 @@ __all__ = [
 def unit_disk_graph_naive(
     points: Sequence[Point], radius: float = 1.0, tol: float = EPS
 ) -> Graph[Point]:
-    """UDG by testing all pairs.  O(n^2); the reference implementation."""
-    graph: Graph[Point] = Graph(nodes=points)
+    """UDG by testing all pairs.  O(n^2); the reference implementation.
+
+    Duplicate points are rejected, exactly as in :func:`unit_disk_graph`
+    — the two builders promise identical behaviour on every input.
+    """
+    pts = _checked_points(points)
+    graph: Graph[Point] = Graph(nodes=pts)
     r_sq = (radius + tol) * (radius + tol)
-    pts = list(points)
-    for i in range(len(pts)):
-        pi = pts[i]
-        for j in range(i + 1, len(pts)):
-            pj = pts[j]
-            dx, dy = pi.x - pj.x, pi.y - pj.y
-            if dx * dx + dy * dy <= r_sq:
-                graph.add_edge(pi, pj)
+    with trace("udg.naive.build"):
+        for i in range(len(pts)):
+            pi = pts[i]
+            for j in range(i + 1, len(pts)):
+                pj = pts[j]
+                dx, dy = pi.x - pj.x, pi.y - pj.y
+                if dx * dx + dy * dy <= r_sq:
+                    graph.add_edge(pi, pj)
+    if OBS.enabled:
+        n = len(pts)
+        OBS.incr("udg.naive.pairs_tested", n * (n - 1) // 2)
+        OBS.incr("udg.naive.edges_emitted", graph.edge_count())
     return graph
 
 
@@ -61,36 +77,56 @@ def unit_disk_graph(
     would be a single node in the UDG model and silently merging them
     corrupts size accounting.
     """
-    pts = list(points)
-    if len(set(pts)) != len(pts):
-        raise ValueError("duplicate points in UDG input")
+    pts = _checked_points(points)
     graph: Graph[Point] = Graph(nodes=pts)
     if radius <= 0.0:
         return graph
     r_sq = (radius + tol) * (radius + tol)
-    buckets: dict[tuple[int, int], list[Point]] = {}
-    for p in pts:
-        key = (int(math.floor(p.x / radius)), int(math.floor(p.y / radius)))
-        buckets.setdefault(key, []).append(p)
-    for (bx, by), cell in buckets.items():
-        # Within-cell pairs.
-        for i in range(len(cell)):
-            for j in range(i + 1, len(cell)):
-                dx, dy = cell[i].x - cell[j].x, cell[i].y - cell[j].y
-                if dx * dx + dy * dy <= r_sq:
-                    graph.add_edge(cell[i], cell[j])
-        # Cross-cell pairs: scan half the neighbors to visit each
-        # unordered cell pair once.
-        for ox, oy in ((1, -1), (1, 0), (1, 1), (0, 1)):
-            other = buckets.get((bx + ox, by + oy))
-            if not other:
-                continue
-            for p in cell:
-                for q in other:
-                    dx, dy = p.x - q.x, p.y - q.y
+    counting = OBS.enabled
+    pairs_tested = 0
+    with trace("udg.grid.build"):
+        buckets: dict[tuple[int, int], list[Point]] = {}
+        for p in pts:
+            key = (int(math.floor(p.x / radius)), int(math.floor(p.y / radius)))
+            buckets.setdefault(key, []).append(p)
+        for (bx, by), cell in buckets.items():
+            # Within-cell pairs.
+            if counting:
+                pairs_tested += len(cell) * (len(cell) - 1) // 2
+            for i in range(len(cell)):
+                for j in range(i + 1, len(cell)):
+                    dx, dy = cell[i].x - cell[j].x, cell[i].y - cell[j].y
                     if dx * dx + dy * dy <= r_sq:
-                        graph.add_edge(p, q)
+                        graph.add_edge(cell[i], cell[j])
+            # Cross-cell pairs: scan half the neighbors to visit each
+            # unordered cell pair once.
+            for ox, oy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+                other = buckets.get((bx + ox, by + oy))
+                if not other:
+                    continue
+                if counting:
+                    pairs_tested += len(cell) * len(other)
+                for p in cell:
+                    for q in other:
+                        dx, dy = p.x - q.x, p.y - q.y
+                        if dx * dx + dy * dy <= r_sq:
+                            graph.add_edge(p, q)
+    if counting:
+        OBS.incr("udg.grid.pairs_tested", pairs_tested)
+        OBS.incr("udg.grid.edges_emitted", graph.edge_count())
     return graph
+
+
+def _checked_points(points: Sequence[Point]) -> list[Point]:
+    """Materialize and validate a deployment: duplicates are an error.
+
+    Shared by the naive and grid builders so their input contract is
+    identical (see ``docs/usage.md`` §1).
+    """
+    pts = list(points)
+    if len(set(pts)) != len(pts):
+        raise ValueError("duplicate points in UDG input")
+    return pts
 
 
 def communication_radius_graph(

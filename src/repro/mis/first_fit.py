@@ -19,6 +19,7 @@ from typing import Hashable, Sequence, TypeVar
 
 from ..graphs.graph import Graph
 from ..graphs.traversal import BFSTree, bfs_tree, dfs_tree
+from ..obs import OBS, trace
 
 N = TypeVar("N", bound=Hashable)
 
@@ -65,6 +66,9 @@ def first_fit_mis_in_order(graph: Graph[N], order: Sequence[N]) -> list[N]:
             continue
         chosen.append(v)
         chosen_set.add(v)
+    if OBS.enabled:
+        OBS.incr("mis.nodes_scanned", len(order))
+        OBS.incr("mis.selected", len(chosen))
     return chosen
 
 
@@ -97,9 +101,10 @@ def first_fit_mis(
         raise ValueError(f"unknown tree_kind {tree_kind!r}")
     if root is None:
         root = min(graph.nodes())
-    builder = bfs_tree if tree_kind == "bfs" else dfs_tree
-    tree = builder(graph, root)
-    if len(tree.order) != len(graph):
-        raise ValueError("graph must be connected for the two-phased framework")
-    nodes = first_fit_mis_in_order(graph, tree.order)
+    with trace("mis.first_fit"):
+        builder = bfs_tree if tree_kind == "bfs" else dfs_tree
+        tree = builder(graph, root)
+        if len(tree.order) != len(graph):
+            raise ValueError("graph must be connected for the two-phased framework")
+        nodes = first_fit_mis_in_order(graph, tree.order)
     return FirstFitMIS(nodes=tuple(nodes), tree=tree)

@@ -1,0 +1,54 @@
+"""``repro.obs`` — instrumentation and run records.
+
+A zero-dependency observability layer for the whole library:
+
+* :class:`Counter` / :class:`Timer` / :class:`Span` primitives held in
+  a process-local :class:`Registry` (the shared default is :data:`OBS`);
+* the :func:`traced` decorator and :func:`trace` context manager, both
+  near-zero overhead while the registry is disabled (the default);
+* :class:`RunRecord` — a versioned, schema-checked JSON/CSV snapshot of
+  one run: algorithm, instance parameters, seed, counters, timings and
+  result sizes.
+
+The solvers, the UDG builders, the distributed simulator and the
+experiment harness all report here; ``python -m repro ... --trace`` /
+``--stats-out`` and the ``benchmarks/bench_to_json.py`` exporter are
+the front ends.  See ``docs/observability.md``.
+"""
+
+from .core import OBS, Counter, Registry, Span, Timer, trace, traced
+from .record import (
+    RUN_RECORD_SCHEMA,
+    SCHEMA_ID,
+    RunRecord,
+    assert_valid_run_record,
+    records_to_csv,
+    validate_run_record,
+)
+# Lazy so ``python -m repro.obs.report`` does not re-import the module
+# it is about to execute (runpy's double-import RuntimeWarning).
+def __getattr__(name):
+    if name in ("render_record", "render_report"):
+        from . import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "Registry",
+    "Span",
+    "Timer",
+    "trace",
+    "traced",
+    "RUN_RECORD_SCHEMA",
+    "SCHEMA_ID",
+    "RunRecord",
+    "assert_valid_run_record",
+    "records_to_csv",
+    "validate_run_record",
+    "render_record",
+    "render_report",
+]

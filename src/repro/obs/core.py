@@ -1,0 +1,271 @@
+"""Counters, timers and the process-local registry.
+
+The instrumentation layer every hot path reports into.  Design rules:
+
+* **Zero dependencies** — standard library only, importable everywhere.
+* **Near-zero overhead when disabled** — the registry starts disabled;
+  instrumented code guards with ``if OBS.enabled:`` (one attribute load
+  and a branch) and aggregates loop-local tallies before reporting, so
+  the un-traced hot paths pay essentially nothing.
+* **Process-local, not thread-safe** — the experiments, benchmarks and
+  the CLI are single-threaded; a lock on every increment would cost
+  more than the feature is worth.
+
+Typical use::
+
+    from repro.obs import OBS, trace, traced
+
+    OBS.enable()
+    with trace("phase2"):
+        ...
+        if OBS.enabled:
+            OBS.incr("gain.evaluations", evals)
+    print(OBS.snapshot())
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Callable, Iterator, TypeVar
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "Span",
+    "Registry",
+    "OBS",
+    "trace",
+    "traced",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+class Counter:
+    """A named monotonically-growing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int | float = 0):
+        self.name = name
+        self.value = value
+
+    def incr(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value!r})"
+
+
+class Timer:
+    """A named accumulator of elapsed wall-clock seconds.
+
+    ``total`` sums every recorded span, ``count`` is how many spans were
+    recorded, and ``last`` is the most recent span's duration — enough
+    to derive a mean without storing each sample.
+    """
+
+    __slots__ = ("name", "total", "count", "last")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.last = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+        self.last = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.name!r}, total={self.total:.6f}, count={self.count})"
+
+
+class Span:
+    """Context manager recording one timed interval into a :class:`Timer`.
+
+    Created by :meth:`Registry.time`; a shared no-op instance is handed
+    out when the registry is disabled so the ``with`` statement costs
+    only two trivial method calls.
+    """
+
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer | None):
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._timer is not None:
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._timer is not None:
+            self._timer.record(perf_counter() - self._t0)
+
+    @property
+    def active(self) -> bool:
+        return self._timer is not None
+
+
+_NULL_SPAN = Span(None)
+
+
+class Registry:
+    """Process-local collection of counters and timers.
+
+    Starts disabled; everything reported while disabled is dropped at
+    the guard in the instrumented code, so enabling mid-process only
+    sees activity from that point on.  :meth:`capture` is the one-stop
+    "reset, enable, restore" context manager the harness, the CLI and
+    the benchmark fixtures use.
+    """
+
+    __slots__ = ("enabled", "_counters", "_timers")
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+
+    # -- state --------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all counters and timers (the enabled flag is kept)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    def capture(self, reset: bool = True):
+        """Context manager: (optionally reset,) enable, then restore.
+
+        Returns the registry itself, so ``with OBS.capture() as reg:``
+        reads naturally.
+        """
+        return _Capture(self, reset)
+
+    # -- recording ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def incr(self, name: str, amount: int | float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (regardless of ``enabled``
+        — callers guard with ``if OBS.enabled:`` so the disabled path
+        never even reaches here)."""
+        self.counter(name).incr(amount)
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name``, created on first use."""
+        t = self._timers.get(name)
+        if t is None:
+            t = self._timers[name] = Timer(name)
+        return t
+
+    def time(self, name: str) -> Span:
+        """A span recording into timer ``name``; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self.timer(name))
+
+    # -- reading ------------------------------------------------------
+
+    def counters(self) -> dict[str, int | float]:
+        """Counter values keyed by name, sorted for stable output."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    def timers(self) -> dict[str, Timer]:
+        return {name: self._timers[name] for name in sorted(self._timers)}
+
+    def timings(self) -> dict[str, dict[str, float | int]]:
+        """Timer totals in the :class:`~repro.obs.record.RunRecord` shape."""
+        return {
+            name: {"seconds": t.total, "count": t.count}
+            for name, t in self.timers().items()
+        }
+
+    def snapshot(self) -> dict:
+        """A JSON-ready dump: ``{"counters": ..., "timings": ...}``."""
+        return {"counters": self.counters(), "timings": self.timings()}
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+
+class _Capture:
+    __slots__ = ("_registry", "_reset", "_prev")
+
+    def __init__(self, registry: Registry, reset: bool):
+        self._registry = registry
+        self._reset = reset
+        self._prev = False
+
+    def __enter__(self) -> Registry:
+        self._prev = self._registry.enabled
+        if self._reset:
+            self._registry.reset()
+        self._registry.enabled = True
+        return self._registry
+
+    def __exit__(self, *exc) -> None:
+        self._registry.enabled = self._prev
+
+
+#: The process-local default registry every instrumented module reports
+#: into.  Disabled until a caller (CLI ``--trace`` / ``--stats-out``,
+#: the benchmark fixture, or user code) enables it.
+OBS = Registry()
+
+
+def trace(name: str) -> Span:
+    """``with trace("phase2"): ...`` on the default registry."""
+    return OBS.time(name)
+
+
+def traced(name: str | F | None = None) -> Callable[[F], F] | F:
+    """Decorator timing every call of a function under the default
+    registry.
+
+    Usable bare or with an explicit timer name::
+
+        @traced
+        def phase_one(...): ...
+
+        @traced("waf.phase2")
+        def waf_connectors(...): ...
+
+    When the registry is disabled the wrapper is a single attribute
+    check plus the delegated call — near-zero overhead.
+    """
+
+    def decorate(fn: F, label: str | None = None) -> F:
+        timer_name = label or f"{fn.__module__.rpartition('.')[2]}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            with Span(OBS.timer(timer_name)):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    if callable(name):
+        return decorate(name)
+    return lambda fn: decorate(fn, name)

@@ -1,0 +1,253 @@
+"""The run record: one reproducible measurement, serialisable.
+
+A :class:`RunRecord` pins down *what ran* (algorithm, instance
+parameters, seed), *what it did* (counters, timings) and *what came
+out* (result sizes) in one JSON-ready object.  The schema is versioned
+(``repro.obs/run-record/v1``) and checkable offline with
+:func:`validate_run_record` — no third-party JSON-Schema library is
+needed, matching the zero-dependency rule of the package.
+
+Field-by-field documentation lives in ``docs/observability.md``; the
+machine-readable shape is :data:`RUN_RECORD_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .core import Registry
+
+__all__ = [
+    "SCHEMA_ID",
+    "RUN_RECORD_SCHEMA",
+    "RunRecord",
+    "validate_run_record",
+    "assert_valid_run_record",
+    "records_to_csv",
+]
+
+#: Version tag embedded in every record; bump on breaking shape change.
+SCHEMA_ID = "repro.obs/run-record/v1"
+
+#: JSON-Schema (draft-07 subset) describing a serialised record.  The
+#: in-repo validator below implements exactly these constraints.
+RUN_RECORD_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "RunRecord",
+    "type": "object",
+    "required": ["schema", "algorithm", "instance", "seed", "counters", "timings", "results"],
+    "properties": {
+        "schema": {"const": SCHEMA_ID},
+        "algorithm": {"type": "string", "minLength": 1},
+        "instance": {"type": "object"},
+        "seed": {"type": ["integer", "null"]},
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
+        "timings": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["seconds", "count"],
+                "properties": {
+                    "seconds": {"type": "number", "minimum": 0},
+                    "count": {"type": "integer", "minimum": 0},
+                },
+            },
+        },
+        "results": {"type": "object"},
+        "meta": {"type": "object"},
+    },
+}
+
+
+@dataclass
+class RunRecord:
+    """One run's provenance, activity and outcome.
+
+    Attributes:
+        algorithm: what ran — a solver label (``"greedy"``), an
+            experiment (``"experiment:T8"``) or a benchmark case name.
+        instance: parameters pinning down the input (node count, edge
+            count, generator arguments, source file, ...).
+        seed: the RNG seed that produced the instance, or ``None`` when
+            the input came from outside (e.g. a deployment CSV).
+        counters: flat name → numeric tally, straight from the registry.
+        timings: name → ``{"seconds": total, "count": spans}``.
+        results: outcome sizes (``cds_size``, ``dominators``, ...).
+        meta: anything else worth keeping (CLI flags, library version).
+    """
+
+    algorithm: str
+    instance: dict = field(default_factory=dict)
+    seed: int | None = None
+    counters: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: Registry,
+        *,
+        algorithm: str,
+        instance: Mapping | None = None,
+        seed: int | None = None,
+        results: Mapping | None = None,
+        meta: Mapping | None = None,
+    ) -> "RunRecord":
+        """Snapshot ``registry`` into a record (counters and timings)."""
+        return cls(
+            algorithm=algorithm,
+            instance=dict(instance or {}),
+            seed=seed,
+            counters=registry.counters(),
+            timings=registry.timings(),
+            results=dict(results or {}),
+            meta=dict(meta or {}),
+        )
+
+    # -- serialisation ------------------------------------------------
+
+    def to_json_obj(self) -> dict:
+        return {
+            "schema": SCHEMA_ID,
+            "algorithm": self.algorithm,
+            "instance": self.instance,
+            "seed": self.seed,
+            "counters": self.counters,
+            "timings": self.timings,
+            "results": self.results,
+            "meta": self.meta,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json_obj(), indent=indent, sort_keys=False)
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def from_json_obj(cls, obj: Mapping) -> "RunRecord":
+        """Rebuild a record from a parsed JSON object.
+
+        Raises:
+            ValueError: when the object does not satisfy the schema.
+        """
+        assert_valid_run_record(obj)
+        return cls(
+            algorithm=obj["algorithm"],
+            instance=dict(obj["instance"]),
+            seed=obj["seed"],
+            counters=dict(obj["counters"]),
+            timings={k: dict(v) for k, v in obj["timings"].items()},
+            results=dict(obj["results"]),
+            meta=dict(obj.get("meta", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunRecord":
+        return cls.from_json_obj(json.loads(Path(path).read_text()))
+
+
+def validate_run_record(obj: object) -> list[str]:
+    """Check ``obj`` against :data:`RUN_RECORD_SCHEMA`.
+
+    Returns the list of violations (empty means valid).  Implemented by
+    hand so validation works without a jsonschema dependency.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, Mapping):
+        return [f"record must be an object, got {type(obj).__name__}"]
+    required = RUN_RECORD_SCHEMA["required"]
+    for key in required:
+        if key not in obj:
+            errors.append(f"missing required field {key!r}")
+    if errors:
+        return errors
+    if obj["schema"] != SCHEMA_ID:
+        errors.append(f"schema must be {SCHEMA_ID!r}, got {obj['schema']!r}")
+    if not isinstance(obj["algorithm"], str) or not obj["algorithm"]:
+        errors.append("algorithm must be a non-empty string")
+    for key in ("instance", "results"):
+        if not isinstance(obj[key], Mapping):
+            errors.append(f"{key} must be an object")
+    if obj["seed"] is not None and not isinstance(obj["seed"], int):
+        errors.append("seed must be an integer or null")
+    counters = obj["counters"]
+    if not isinstance(counters, Mapping):
+        errors.append("counters must be an object")
+    else:
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors.append(f"counter {name!r} must be numeric, got {value!r}")
+    timings = obj["timings"]
+    if not isinstance(timings, Mapping):
+        errors.append("timings must be an object")
+    else:
+        for name, entry in timings.items():
+            if not isinstance(entry, Mapping):
+                errors.append(f"timing {name!r} must be an object")
+                continue
+            seconds = entry.get("seconds")
+            count = entry.get("count")
+            if isinstance(seconds, bool) or not isinstance(seconds, (int, float)) or seconds < 0:
+                errors.append(f"timing {name!r}: seconds must be a number >= 0")
+            if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+                errors.append(f"timing {name!r}: count must be an integer >= 0")
+    if "meta" in obj and not isinstance(obj["meta"], Mapping):
+        errors.append("meta must be an object")
+    return errors
+
+
+def assert_valid_run_record(obj: object) -> None:
+    """Raise ``ValueError`` listing every schema violation in ``obj``."""
+    errors = validate_run_record(obj)
+    if errors:
+        raise ValueError("invalid RunRecord: " + "; ".join(errors))
+
+
+def records_to_csv(records: Iterable[RunRecord]) -> str:
+    """Flatten records to CSV — one row per record.
+
+    Columns are the union of all counter names (``counter.<name>``) and
+    timer names (``timing.<name>.seconds``), after the fixed identity
+    columns; missing cells are left empty.  Handy for spreadsheet-level
+    comparison of runs.
+    """
+    records = list(records)
+    counter_names = sorted({n for r in records for n in r.counters})
+    timer_names = sorted({n for r in records for n in r.timings})
+    header = (
+        ["algorithm", "seed", "instance", "results"]
+        + [f"counter.{n}" for n in counter_names]
+        + [f"timing.{n}.seconds" for n in timer_names]
+    )
+    lines = [",".join(header)]
+    for r in records:
+        row = [
+            _csv_cell(r.algorithm),
+            "" if r.seed is None else str(r.seed),
+            _csv_cell(json.dumps(r.instance, sort_keys=True)),
+            _csv_cell(json.dumps(r.results, sort_keys=True)),
+        ]
+        row += [
+            str(r.counters[n]) if n in r.counters else "" for n in counter_names
+        ]
+        row += [
+            f"{r.timings[n]['seconds']:.9f}" if n in r.timings else ""
+            for n in timer_names
+        ]
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def _csv_cell(text: str) -> str:
+    if any(c in text for c in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text

@@ -1,0 +1,44 @@
+"""Schema validation as a command: ``python -m repro.obs.validate rec.json``.
+
+Exits 0 when every given file is a valid ``RunRecord``, 1 otherwise,
+printing each violation — what the CI smoke job runs against the
+record emitted by ``python -m repro T8 --stats-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .record import SCHEMA_ID, validate_run_record
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.obs.validate <record.json> [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in args:
+        try:
+            obj = json.loads(Path(name).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{name}: unreadable: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate_run_record(obj)
+        if errors:
+            failures += 1
+            for err in errors:
+                print(f"{name}: {err}", file=sys.stderr)
+        else:
+            print(f"{name}: valid {SCHEMA_ID}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

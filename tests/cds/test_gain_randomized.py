@@ -1,0 +1,102 @@
+"""Randomized cross-validation of :class:`GainTracker`.
+
+The incremental tracker is the performance-critical heart of the
+Section IV greedy; these tests drive it with randomized add sequences
+— not just the greedy's own selection order — and check every
+intermediate quantity against the from-scratch references
+(:func:`gain_of`, :func:`component_count`), plus the three tie-break
+modes of :meth:`GainTracker.best_connector` against a brute-force
+reimplementation of their documented semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.cds import GainTracker, component_count, gain_of
+from repro.mis import first_fit_mis
+
+
+def _reference_best(graph, tracker, tie_break):
+    """Brute-force argmax-gain with the documented tie-break rules."""
+    candidates = []
+    for w in graph.nodes():
+        if w in tracker.included:
+            continue
+        g = tracker.gain(w)
+        if g >= 1:
+            candidates.append((g, w))
+    if not candidates:
+        return None
+    best_gain = max(g for g, _ in candidates)
+    tied = [w for g, w in candidates if g == best_gain]
+    if tie_break == "min":
+        return best_gain, min(tied)
+    if tie_break == "max":
+        return best_gain, max(tied)
+    # "degree": highest degree, then smallest id.
+    return best_gain, min(tied, key=lambda w: (-graph.degree(w), w))
+
+
+class TestRandomizedAddSequences:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_gain_and_q_match_reference_under_random_adds(self, seed, udg_suite):
+        rng = random.Random(seed)
+        _, graph = udg_suite[seed % len(udg_suite)]
+        mis = first_fit_mis(graph)
+        tracker = GainTracker(graph, mis.nodes)
+        included = set(mis.nodes)
+        remaining = [v for v in graph.nodes() if v not in included]
+        rng.shuffle(remaining)
+        for w in remaining:
+            assert tracker.gain(w) == gain_of(graph, included, w)
+            realized = tracker.add(w)
+            included.add(w)
+            assert realized == max(
+                0, component_count(graph, included - {w}) - component_count(graph, included)
+            )
+            assert tracker.component_count == component_count(graph, included)
+        # Everything added: one component (the graph is connected).
+        assert tracker.component_count == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partial_random_prefix_keeps_invariants(self, seed, udg_suite):
+        rng = random.Random(100 + seed)
+        _, graph = udg_suite[(3 * seed) % len(udg_suite)]
+        mis = first_fit_mis(graph)
+        tracker = GainTracker(graph, mis.nodes)
+        included = set(mis.nodes)
+        outside = [v for v in graph.nodes() if v not in included]
+        for w in rng.sample(outside, len(outside) // 2):
+            tracker.add(w)
+            included.add(w)
+        for w in graph.nodes():
+            assert tracker.gain(w) == gain_of(graph, included, w)
+
+
+class TestTieBreakModes:
+    @pytest.mark.parametrize("tie_break", ["min", "max", "degree"])
+    def test_best_connector_matches_brute_force_along_full_runs(
+        self, tie_break, udg_suite
+    ):
+        for _, graph in udg_suite[:6]:
+            mis = first_fit_mis(graph)
+            tracker = GainTracker(graph, mis.nodes)
+            while tracker.component_count > 1:
+                expected = _reference_best(graph, tracker, tie_break)
+                assert expected is not None
+                got = tracker.best_connector(tie_break)
+                assert got == (expected[1], expected[0])
+                tracker.add(got[0])
+
+    def test_modes_can_disagree_but_all_terminate_validly(self, udg_suite):
+        from repro.graphs import connected_components
+
+        for _, graph in udg_suite[:4]:
+            mis = first_fit_mis(graph)
+            for tie_break in ("min", "max", "degree"):
+                tracker = GainTracker(graph, mis.nodes)
+                while tracker.component_count > 1:
+                    w, _ = tracker.best_connector(tie_break)
+                    tracker.add(w)
+                assert len(connected_components(graph.subgraph(tracker.included))) == 1

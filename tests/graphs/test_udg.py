@@ -52,6 +52,19 @@ class TestUnitDiskGraph:
         with pytest.raises(ValueError):
             unit_disk_graph([Point(0, 0), Point(0, 0)])
 
+    def test_duplicate_points_rejected_by_naive_too(self):
+        # The builders promise identical behaviour on every input —
+        # including erroneous ones (docs/usage.md §1).
+        with pytest.raises(ValueError):
+            unit_disk_graph_naive([Point(0, 0), Point(0, 0)])
+
+    def test_builders_agree_on_duplicate_contract(self):
+        pts = uniform_points(10, 3.0, seed=4)
+        dupes = pts + [pts[0]]
+        for builder in (unit_disk_graph, unit_disk_graph_naive):
+            with pytest.raises(ValueError, match="duplicate"):
+                builder(dupes)
+
     def test_empty(self):
         g = unit_disk_graph([])
         assert len(g) == 0

@@ -1,0 +1,195 @@
+"""Unit tests for the instrumentation primitives."""
+
+import pytest
+
+from repro.obs import OBS, Registry, trace, traced
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_registry():
+    """Leave the shared registry how we found it: disabled and empty."""
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        assert not Registry().enabled
+
+    def test_counter_increments(self):
+        reg = Registry(enabled=True)
+        reg.incr("a")
+        reg.incr("a", 4)
+        assert reg.counters() == {"a": 5}
+
+    def test_counters_sorted_by_name(self):
+        reg = Registry(enabled=True)
+        reg.incr("z")
+        reg.incr("a")
+        assert list(reg.counters()) == ["a", "z"]
+
+    def test_timer_records_spans(self):
+        reg = Registry(enabled=True)
+        with reg.time("t"):
+            pass
+        with reg.time("t"):
+            pass
+        timer = reg.timer("t")
+        assert timer.count == 2
+        assert timer.total >= 0.0
+        assert timer.mean == pytest.approx(timer.total / 2)
+
+    def test_time_is_noop_when_disabled(self):
+        reg = Registry()
+        span = reg.time("t")
+        assert not span.active
+        with span:
+            pass
+        assert reg.timings() == {}
+
+    def test_reset_clears_but_keeps_enabled(self):
+        reg = Registry(enabled=True)
+        reg.incr("a")
+        reg.reset()
+        assert reg.enabled
+        assert reg.snapshot() == {"counters": {}, "timings": {}}
+
+    def test_capture_restores_prior_state(self):
+        reg = Registry()
+        reg.incr("stale")
+        with reg.capture() as inner:
+            assert inner is reg
+            assert reg.enabled
+            assert reg.counters() == {}  # reset dropped the stale counter
+            reg.incr("fresh")
+        assert not reg.enabled
+        assert reg.counters() == {"fresh": 1}
+
+    def test_capture_without_reset(self):
+        reg = Registry()
+        reg.incr("kept")
+        with reg.capture(reset=False):
+            reg.incr("kept")
+        assert reg.counters() == {"kept": 2}
+
+    def test_snapshot_shape(self):
+        reg = Registry(enabled=True)
+        reg.incr("c", 2)
+        with reg.time("t"):
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["timings"]["t"]["count"] == 1
+        assert snap["timings"]["t"]["seconds"] >= 0.0
+
+
+class TestTraceHelpers:
+    def test_trace_records_on_default_registry(self):
+        OBS.enable()
+        with trace("phase"):
+            pass
+        assert OBS.timer("phase").count == 1
+
+    def test_trace_noop_when_disabled(self):
+        with trace("phase"):
+            pass
+        assert OBS.timings() == {}
+
+    def test_traced_bare_decorator(self):
+        @traced
+        def work():
+            return 42
+
+        OBS.enable()
+        assert work() == 42
+        (name,) = OBS.timings()
+        assert "work" in name
+
+    def test_traced_named_decorator(self):
+        @traced("custom.label")
+        def work(x, y=1):
+            return x + y
+
+        OBS.enable()
+        assert work(2, y=3) == 5
+        assert OBS.timer("custom.label").count == 1
+
+    def test_traced_disabled_passthrough(self):
+        @traced("never.recorded")
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert OBS.timings() == {}
+
+    def test_traced_preserves_metadata(self):
+        @traced("label")
+        def documented():
+            """Docstring survives."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring survives."
+
+
+class TestInstrumentedHotPaths:
+    def test_greedy_reports_counters_and_phases(self, medium_udg):
+        from repro.cds import greedy_connector_cds
+
+        _, graph = medium_udg
+        with OBS.capture() as reg:
+            result = greedy_connector_cds(graph)
+        counters = reg.counters()
+        assert counters["gain.evaluations"] > 0
+        assert counters["gain.dsu_unions"] > 0
+        assert counters["greedy.connectors_chosen"] == len(result.connectors)
+        assert counters["mis.selected"] == len(result.dominators)
+        timings = reg.timings()
+        assert timings["greedy.phase1"]["count"] == 1
+        assert timings["greedy.phase2"]["count"] == 1
+
+    def test_waf_reports_counters(self, medium_udg):
+        from repro.cds import waf_cds
+
+        _, graph = medium_udg
+        with OBS.capture() as reg:
+            result = waf_cds(graph)
+        counters = reg.counters()
+        assert counters["waf.coverage_evaluations"] > 0
+        assert counters["waf.connectors_chosen"] == len(result.connectors)
+        assert reg.timings()["waf.phase2"]["count"] == 1
+
+    def test_udg_builders_report_pair_economy(self, small_udg):
+        from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
+
+        points, _ = small_udg
+        n = len(points)
+        with OBS.capture() as reg:
+            fast = unit_disk_graph(points)
+            slow = unit_disk_graph_naive(points)
+        counters = reg.counters()
+        assert counters["udg.naive.pairs_tested"] == n * (n - 1) // 2
+        assert counters["udg.grid.pairs_tested"] <= counters["udg.naive.pairs_tested"]
+        assert counters["udg.grid.edges_emitted"] == fast.edge_count()
+        assert counters["udg.naive.edges_emitted"] == slow.edge_count()
+
+    def test_simulator_mirrors_metrics(self, path5):
+        from repro.distributed import distributed_waf_cds
+        from repro.experiments.instances import int_labeled
+
+        graph = int_labeled(path5)
+        with OBS.capture() as reg:
+            _, metrics = distributed_waf_cds(graph)
+        counters = reg.counters()
+        assert counters["sim.transmissions"] == metrics.transmissions
+        assert counters["sim.rounds"] == metrics.rounds
+        assert reg.timings()["distributed.waf"]["count"] == 1
+
+    def test_disabled_registry_records_nothing(self, small_udg):
+        from repro.cds import greedy_connector_cds
+
+        _, graph = small_udg
+        greedy_connector_cds(graph)
+        assert OBS.snapshot() == {"counters": {}, "timings": {}}

@@ -78,6 +78,17 @@ class TestUDGProperties:
         }
 
     @settings(max_examples=40)
+    @given(point_lists, st.floats(min_value=0.25, max_value=2.5, allow_nan=False))
+    def test_fast_equals_naive_any_radius(self, pts, radius):
+        # The bucket side tracks the radius, so agreement must hold for
+        # non-unit radii too, not just the paper's normalized model.
+        fast = unit_disk_graph(pts, radius=radius)
+        slow = unit_disk_graph_naive(pts, radius=radius)
+        assert {frozenset(e) for e in fast.edges()} == {
+            frozenset(e) for e in slow.edges()
+        }
+
+    @settings(max_examples=40)
     @given(point_lists)
     def test_edges_match_distance_predicate(self, pts):
         g = unit_disk_graph(pts)

@@ -73,3 +73,54 @@ class TestSolve:
     def test_unknown_algorithm_rejected(self, deployment):
         with pytest.raises(SystemExit):
             main(["solve", deployment, "--algorithm", "magic"])
+
+
+class TestSolveStats:
+    def test_stats_out_writes_valid_record(self, deployment, tmp_path, capsys):
+        from repro.obs import validate_run_record
+
+        rec_file = tmp_path / "rec.json"
+        assert main(["solve", deployment, "--stats-out", str(rec_file)]) == 0
+        obj = json.loads(rec_file.read_text())
+        assert validate_run_record(obj) == []
+        # The acceptance contract: greedy emits non-zero operation
+        # counts and phase timings.
+        assert obj["algorithm"] == "greedy-connector"
+        assert obj["counters"]["gain.evaluations"] > 0
+        assert obj["counters"]["gain.dsu_unions"] > 0
+        assert obj["timings"]["greedy.phase1"]["seconds"] >= 0
+        assert obj["timings"]["greedy.phase2"]["count"] == 1
+        assert obj["results"]["cds_size"] > 0
+        assert obj["instance"]["nodes"] == 20
+
+    def test_trace_prints_report(self, deployment, capsys):
+        assert main(["solve", deployment, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation" in out
+        assert "gain.evaluations" in out
+
+    def test_stats_off_by_default(self, deployment, capsys):
+        from repro.obs import OBS
+
+        assert main(["solve", deployment]) == 0
+        assert not OBS.enabled
+
+    def test_experiments_stats_out(self, tmp_path, capsys):
+        from repro.obs import validate_run_record
+
+        rec_file = tmp_path / "rec.json"
+        assert main(["LEM", "--stats-out", str(rec_file)]) == 0
+        obj = json.loads(rec_file.read_text())
+        assert validate_run_record(obj) == []
+        assert obj["algorithm"] == "experiment:LEM"
+        assert obj["results"]["failed"] == []
+
+    def test_run_recorded_helper(self):
+        from repro.experiments import run_recorded
+        from repro.obs import validate_run_record
+
+        result, record = run_recorded("LEM")
+        assert result.passed
+        assert record.results["passed"] is True
+        assert record.timings["experiment.LEM"]["count"] == 1
+        assert validate_run_record(record.to_json_obj()) == []
