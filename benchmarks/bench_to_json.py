@@ -1,11 +1,12 @@
-"""Export the standing performance baseline to ``BENCH_baseline.json``.
+"""Export the standing performance record to ``BENCH_*.json``.
 
-A plain script (not a pytest bench): it rebuilds the three shared
-benchmark fixtures (20/60/150-node connected UDGs, same parameters as
+A plain script (not a pytest bench): it rebuilds the shared benchmark
+fixtures (20/60/150-node connected UDGs, same parameters as
 ``conftest.py``), times the UDG builders and both of the paper's
 algorithms on each, captures one instrumented run's counters per case,
-and writes everything as JSON — the file future optimisation PRs
-compare against.
+and writes everything as JSON — the files (``BENCH_baseline.json`` from
+PR 1, ``BENCH_pr2.json`` after the indexed-kernel/lazy-greedy PR) that
+optimisation PRs compare against.
 
 Timing runs are executed with instrumentation *disabled* so the
 baseline measures the algorithms, not the bookkeeping; a separate
@@ -15,6 +16,9 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_to_json.py            # repo root
     PYTHONPATH=src python benchmarks/bench_to_json.py -o out.json --repeats 9
+    # counter-focused smoke run (subset of fixtures, parallel):
+    PYTHONPATH=src python benchmarks/bench_to_json.py \\
+        -o smoke.json --fixtures udg20,udg60 --repeats 3 --jobs 2
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from pathlib import Path
 
 from repro import __version__
 from repro.cds import greedy_connector_cds, waf_cds
+from repro.experiments.parallel import parallel_map
 from repro.graphs import random_connected_udg
 from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
 from repro.obs import OBS, RunRecord
@@ -41,6 +46,9 @@ FIXTURES: dict[str, tuple[int, float, int]] = {
     "udg60": (60, 6.2, 2),
     "udg150": (150, 8.0, 3),
 }
+
+#: Benchmarked case names, in output order per fixture.
+CASE_NAMES = ("udg_build_naive", "udg_build_grid", "waf", "greedy")
 
 
 def _cases(points, graph):
@@ -90,13 +98,29 @@ def run_case(name: str, fixture: str, fn, repeats: int) -> RunRecord:
     return record
 
 
-def build_baseline(repeats: int) -> dict:
-    records = []
-    for fixture in FIXTURES:
-        n, side, seed = FIXTURES[fixture]
-        points, graph = random_connected_udg(n, side, seed=seed)
-        for name, fn in _cases(points, graph).items():
-            records.append(run_case(f"{name}/{fixture}", fixture, fn, repeats))
+def _case_task(task: tuple[str, str, int]) -> dict:
+    """Worker: rebuild one fixture, run one case, return the record JSON.
+
+    Module-level (and self-contained: the deployment is regenerated from
+    its seed in-process) so ``parallel_map`` can run cases across worker
+    processes with identical results.
+    """
+    case_name, fixture, repeats = task
+    n, side, seed = FIXTURES[fixture]
+    points, graph = random_connected_udg(n, side, seed=seed)
+    fn = _cases(points, graph)[case_name]
+    return run_case(f"{case_name}/{fixture}", fixture, fn, repeats).to_json_obj()
+
+
+def build_baseline(
+    repeats: int, fixtures: list[str] | None = None, jobs: int = 1
+) -> dict:
+    names = list(FIXTURES) if fixtures is None else list(fixtures)
+    for name in names:
+        if name not in FIXTURES:
+            raise KeyError(f"unknown fixture {name!r}; known: {sorted(FIXTURES)}")
+    tasks = [(case, fixture, repeats) for fixture in names for case in CASE_NAMES]
+    runs = parallel_map(_case_task, tasks, jobs=jobs)
     return {
         "schema": SCHEMA_ID,
         "version": __version__,
@@ -105,8 +129,9 @@ def build_baseline(repeats: int) -> dict:
         "fixtures": {
             name: {"n": n, "side": side, "seed": seed}
             for name, (n, side, seed) in FIXTURES.items()
+            if name in names
         },
-        "runs": [r.to_json_obj() for r in records],
+        "runs": runs,
     }
 
 
@@ -121,9 +146,30 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=7, help="timing repetitions per case"
     )
+    parser.add_argument(
+        "--fixtures",
+        metavar="NAMES",
+        help=f"comma-separated fixture subset (default: all of {','.join(FIXTURES)})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run cases across N worker processes; counters are unaffected "
+            "(deterministic per case) but timing samples compete for cores, "
+            "so keep --jobs 1 for a committed timing baseline"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    baseline = build_baseline(args.repeats)
+    fixtures = args.fixtures.split(",") if args.fixtures else None
+    try:
+        baseline = build_baseline(args.repeats, fixtures, max(1, args.jobs))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     Path(args.out).write_text(json.dumps(baseline, indent=2) + "\n")
     slowest = max(baseline["runs"], key=lambda r: r["meta"]["seconds_median"])
     print(

@@ -1,0 +1,101 @@
+"""Diff a ``bench_to_json.py`` output against committed expected counters.
+
+Timing is machine-dependent; the operation counters are not — for a
+fixed fixture every builder and solver performs exactly the same
+dict-ordered work on every machine and Python version the CI matrix
+runs.  So the bench-smoke CI job regenerates the cheap fixtures and
+asserts the counters match ``benchmarks/expected_counters.json``
+byte-for-byte: an algorithmic regression (more gain evaluations for
+the same instance) fails the build even when wall-clock noise would
+hide it, and a timing-only change cannot trip it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py \\
+        -o /tmp/smoke.json --fixtures udg20,udg60 --repeats 1
+    python benchmarks/check_counters.py /tmp/smoke.json
+
+Regenerate the expected file after an *intentional* counter change
+(and say why in the commit)::
+
+    python benchmarks/check_counters.py /tmp/smoke.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EXPECTED_PATH = Path(__file__).resolve().parent / "expected_counters.json"
+
+#: Counter/result keys that must be deterministic per fixture.  Timers
+#: and ``meta`` timing statistics are deliberately not compared.
+DETERMINISTIC_KEYS = ("counters", "results", "seed")
+
+
+def extract(bench: dict) -> dict:
+    """``algorithm -> {counters, results, seed}`` for every run."""
+    return {
+        run["algorithm"]: {key: run[key] for key in DETERMINISTIC_KEYS}
+        for run in bench["runs"]
+    }
+
+
+def compare(expected: dict, actual: dict) -> list[str]:
+    """Human-readable mismatch lines; empty means pass."""
+    problems = []
+    for name in sorted(expected):
+        if name not in actual:
+            problems.append(f"{name}: missing from the generated bench")
+            continue
+        for key in DETERMINISTIC_KEYS:
+            if expected[name][key] != actual[name][key]:
+                problems.append(
+                    f"{name}: {key} mismatch\n"
+                    f"  expected: {expected[name][key]}\n"
+                    f"  actual:   {actual[name][key]}"
+                )
+    extra = sorted(set(actual) - set(expected))
+    if extra:
+        problems.append(
+            f"unexpected cases (regenerate with --update?): {extra}"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="bench_to_json.py output to check")
+    parser.add_argument(
+        "--expected",
+        default=str(EXPECTED_PATH),
+        help="expected-counters file (default: benchmarks/expected_counters.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the expected file from the given bench instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    actual = extract(json.loads(Path(args.bench).read_text()))
+    if args.update:
+        Path(args.expected).write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"{len(actual)} cases -> {args.expected}")
+        return 0
+
+    expected = json.loads(Path(args.expected).read_text())
+    problems = compare(expected, actual)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print(f"all {len(expected)} cases match {args.expected}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 
 from .base import CDSResult
 from .gain import GainTracker, component_count, gain_of
+from .lazy_gain import LazyGainTracker
 from .waf import waf_cds, waf_connectors
 from .greedy_connector import greedy_connector_cds, greedy_connectors
 from .steiner import steiner_cds, steiner_connectors
@@ -31,6 +32,7 @@ from .bounds import (
 __all__ = [
     "CDSResult",
     "GainTracker",
+    "LazyGainTracker",
     "component_count",
     "gain_of",
     "waf_cds",

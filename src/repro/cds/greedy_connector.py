@@ -18,10 +18,11 @@ from __future__ import annotations
 from typing import Hashable, Iterable, TypeVar
 
 from ..graphs.graph import Graph
+from ..graphs.indexed import IndexedGraph
 from ..mis.first_fit import first_fit_mis
 from ..obs import OBS, trace
 from .base import CDSResult
-from .gain import GainTracker
+from .lazy_gain import LazyGainTracker
 
 N = TypeVar("N", bound=Hashable)
 
@@ -29,23 +30,37 @@ __all__ = ["greedy_connector_cds", "greedy_connectors"]
 
 
 def greedy_connectors(
-    graph: Graph[N], dominators: Iterable[N], tie_break: str = "min"
+    graph: Graph[N],
+    dominators: Iterable[N],
+    tie_break: str = "min",
+    index: IndexedGraph[N] | None = None,
 ) -> tuple[list[N], list[int], list[int]]:
     """Run the greedy phase 2 on an already-chosen dominating set.
+
+    Selection runs on :class:`~repro.cds.lazy_gain.LazyGainTracker` —
+    candidate-restricted, cache-invalidating, and bit-identical to the
+    reference :class:`~repro.cds.gain.GainTracker` rescan under every
+    tie-break mode (the randomized suite in
+    ``tests/cds/test_lazy_gain.py`` holds the two to the same
+    ``(node, gain)`` sequence).
 
     Args:
         graph: the connected topology.
         dominators: the phase-1 MIS (any dominating set with the 2-hop
             separation property works; Lemma 9 needs it).
         tie_break: gain tie resolution ("min" / "max" / "degree"),
-            forwarded to :meth:`GainTracker.best_connector`.
+            forwarded to :meth:`LazyGainTracker.best_connector`.
+        index: optional prebuilt CSR view of ``graph``; built here when
+            absent (callers running several phases should build it once).
 
     Returns:
         ``(connectors, gain_history, q_history)`` where ``q_history[i]``
         is ``q`` *before* the i-th selection (so ``q_history[0] = |I|``)
         plus a final entry of 1.
     """
-    tracker = GainTracker(graph, dominators)
+    if index is None:
+        index = IndexedGraph.from_graph(graph)
+    tracker = LazyGainTracker(index, dominators)
     connectors: list[N] = []
     gains: list[int] = []
     q_values: list[int] = [tracker.component_count]
@@ -86,10 +101,13 @@ def greedy_connector_cds(
             dominators=(only,),
             connectors=(),
         )
+    index = IndexedGraph.from_graph(graph)
     with trace("greedy.phase1"):
-        mis = first_fit_mis(graph, root)
+        mis = first_fit_mis(graph, root, index=index)
     with trace("greedy.phase2"):
-        connectors, gains, q_values = greedy_connectors(graph, mis.nodes, tie_break)
+        connectors, gains, q_values = greedy_connectors(
+            graph, mis.nodes, tie_break, index
+        )
     nodes = frozenset(mis.nodes) | frozenset(connectors)
     return CDSResult(
         algorithm="greedy-connector",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Hashable, TypeVar
 
 from ..graphs.graph import Graph
+from ..graphs.indexed import IndexedGraph
 from ..mis.first_fit import FirstFitMIS, first_fit_mis
 from ..obs import OBS, trace
 from .base import CDSResult
@@ -32,11 +33,18 @@ N = TypeVar("N", bound=Hashable)
 __all__ = ["waf_cds", "waf_connectors"]
 
 
-def waf_connectors(graph: Graph[N], mis: FirstFitMIS) -> list[N]:
+def waf_connectors(
+    graph: Graph[N], mis: FirstFitMIS, index: IndexedGraph[N] | None = None
+) -> list[N]:
     """Phase 2 of WAF: ``{s}`` plus tree parents of ``I \\ I(s)``.
 
     Returns the connectors in a deterministic order (``s`` first, then
-    parents in MIS selection order, deduplicated).
+    parents in MIS selection order, deduplicated).  ``index`` optionally
+    supplies a prebuilt CSR view of ``graph`` so the coverage scan runs
+    on flat arrays with a byte-mask MIS membership test; the selected
+    ``s`` (and hence the connectors) is identical either way.  Each
+    candidate's coverage is computed exactly once, so
+    ``waf.coverage_evaluations`` equals the root's degree.
     """
     tree = mis.tree
     root = tree.root
@@ -46,15 +54,29 @@ def waf_connectors(graph: Graph[N], mis: FirstFitMIS) -> list[N]:
         return []
     # s: the root's neighbor adjacent to the most MIS nodes; ties to the
     # smallest node for determinism.
-    evaluations = 0
-
-    def coverage(u: N) -> int:
-        nonlocal evaluations
-        evaluations += 1
-        return sum(1 for w in graph.neighbors(u) if w in mis_set)
-
-    best = max(coverage(u) for u in root_neighbors)
-    s = min((u for u in root_neighbors if coverage(u) == best), key=_sort_key)
+    if index is not None:
+        indptr, indices = index.indptr, index.indices
+        in_mis = bytearray(len(index))
+        for v in mis_set:
+            in_mis[index.id_of(v)] = 1
+        coverages = []
+        for u in root_neighbors:
+            ui = index.id_of(u)
+            cov = 0
+            for w in indices[indptr[ui] : indptr[ui + 1]]:
+                cov += in_mis[w]
+            coverages.append(cov)
+    else:
+        coverages = [
+            sum(1 for w in graph.neighbors(u) if w in mis_set)
+            for u in root_neighbors
+        ]
+    evaluations = len(root_neighbors)
+    best = max(coverages)
+    s = min(
+        (u for u, cov in zip(root_neighbors, coverages) if cov == best),
+        key=_sort_key,
+    )
     covered_by_s = {w for w in graph.neighbors(s) if w in mis_set}
 
     connectors: list[N] = [s]
@@ -95,10 +117,11 @@ def waf_cds(
         return CDSResult(
             algorithm="waf", nodes=frozenset([only]), dominators=(only,), connectors=()
         )
+    index = IndexedGraph.from_graph(graph)
     with trace("waf.phase1"):
-        mis = first_fit_mis(graph, root, tree_kind)
+        mis = first_fit_mis(graph, root, tree_kind, index=index)
     with trace("waf.phase2"):
-        connectors = waf_connectors(graph, mis)
+        connectors = waf_connectors(graph, mis, index)
     nodes = frozenset(mis.nodes) | frozenset(connectors)
     return CDSResult(
         algorithm="waf",

@@ -8,6 +8,7 @@ Two modes:
       python -m repro --list          # show all experiment ids
       python -m repro T8 T10          # run two experiments
       python -m repro --all --csv out # run everything, dump CSVs
+      python -m repro --all --jobs 4  # same, across 4 worker processes
 
 * **solve** — run a CDS algorithm on a deployment CSV (``x,y`` header,
   one point per row; see :mod:`repro.io`)::
@@ -74,6 +75,17 @@ def _experiments_main(argv: Sequence[str]) -> int:
         metavar="DIR",
         help="also write each result table as CSV into this directory",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run experiments across N worker processes (output order and "
+            "content are identical to a serial run; forced to 1 when "
+            "--trace/--stats-out need a merged instrumentation report)"
+        ),
+    )
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
@@ -85,6 +97,15 @@ def _experiments_main(argv: Sequence[str]) -> int:
 
     from .obs import OBS
 
+    jobs = max(1, args.jobs)
+    if jobs > 1 and (args.trace or args.stats_out):
+        print(
+            "note: --trace/--stats-out need in-process counters; "
+            "running with --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
+
     if args.trace or args.stats_out:
         OBS.reset()
         OBS.enable()
@@ -92,14 +113,25 @@ def _experiments_main(argv: Sequence[str]) -> int:
     ids = sorted(registry) if args.all else args.experiments
     failed: list[str] = []
     ran: list[str] = []
-    for experiment_id in ids:
+    if jobs > 1:
+        from .experiments.parallel import run_experiments_parallel
+
         try:
-            fn = get_experiment(experiment_id)
+            results = run_experiments_parallel(ids, jobs=jobs)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-        with OBS.time(f"experiment.{fn.experiment_id}"):
-            result = fn()
+    else:
+        results = []
+        for experiment_id in ids:
+            try:
+                fn = get_experiment(experiment_id)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            with OBS.time(f"experiment.{fn.experiment_id}"):
+                results.append(fn())
+    for result in results:
         ran.append(result.experiment_id)
         print(result.render())
         print()

@@ -8,6 +8,15 @@ from .harness import (
     get_experiment,
     run_recorded,
 )
+from .parallel import (
+    SweepCell,
+    default_jobs,
+    parallel_map,
+    run_experiments_parallel,
+    solve_cell,
+    solve_cells,
+    sweep_cells,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -16,4 +25,11 @@ __all__ = [
     "experiment",
     "get_experiment",
     "run_recorded",
+    "SweepCell",
+    "default_jobs",
+    "parallel_map",
+    "run_experiments_parallel",
+    "solve_cell",
+    "solve_cells",
+    "sweep_cells",
 ]

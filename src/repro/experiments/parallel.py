@@ -1,0 +1,175 @@
+"""Parallel sweep runner: multiprocessing maps with deterministic output.
+
+Every empirical table in this reproduction is a *sweep*: the same
+computation over a grid of ``(n, seed)`` cells (instance sizes ×
+replications).  Cells are independent, so they parallelise trivially —
+what needs care is keeping the results exactly as reproducible as the
+serial loop:
+
+* **Deterministic ordering.**  :func:`parallel_map` always returns
+  results in *input* order (``multiprocessing.Pool.map`` preserves it),
+  so a table built from the returned list is byte-identical whatever
+  ``jobs`` is, and identical to ``jobs=1``.
+* **Determinism per cell.**  Workers receive the cell parameters and
+  regenerate the instance from its seed inside the child process —
+  nothing depends on which worker runs which cell.
+* **Instrumentation stays per-cell.**  The :data:`repro.obs.OBS`
+  registry is process-local; a child's counters never reach the
+  parent.  Workers that want counts capture them *inside* the cell
+  (see :func:`solve_cell`, which returns them in its result dict)
+  rather than relying on ambient registry state.
+
+Workers must be defined at module level (``multiprocessing`` pickles
+them by reference); :func:`functools.partial` over a module-level
+function works for parameterised workers and is what
+:func:`solve_cells` does internally.
+
+The CLI experiments mode exposes this as ``--jobs N``
+(``python -m repro --all --jobs 4``), and
+``benchmarks/bench_to_json.py`` uses the same map to spread benchmark
+cases over cores (timing runs stay trustworthy because each case is
+timed inside a single process, unshared).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from functools import partial
+from typing import Callable, Iterable, NamedTuple, Sequence, TypeVar
+
+from .harness import ExperimentResult, get_experiment
+from .instances import default_side
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "SweepCell",
+    "sweep_cells",
+    "parallel_map",
+    "solve_cell",
+    "solve_cells",
+    "run_experiments_parallel",
+    "default_jobs",
+]
+
+
+class SweepCell(NamedTuple):
+    """One cell of an experiment sweep: an instance size and its seed.
+
+    ``side`` is carried explicitly (not re-derived in the worker) so a
+    cell is self-describing and the grid stays frozen even if the
+    density default changes.
+    """
+
+    n: int
+    side: float
+    seed: int
+
+
+def sweep_cells(
+    ns: Sequence[int],
+    seeds: Iterable[int],
+    side: float | Callable[[int], float] | None = None,
+) -> list[SweepCell]:
+    """The ``(n, seed)`` grid, n-major, in deterministic order.
+
+    ``side`` may be a constant, a function of ``n``, or ``None`` for
+    :func:`repro.experiments.instances.default_side`.
+    """
+    if side is None:
+        side = default_side
+    seeds = list(seeds)
+    cells = []
+    for n in ns:
+        s = side(n) if callable(side) else side
+        for seed in seeds:
+            cells.append(SweepCell(n=n, side=s, seed=seed))
+    return cells
+
+
+def default_jobs() -> int:
+    """A conservative default worker count: physical parallelism, capped."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def parallel_map(
+    worker: Callable[[T], R], items: Sequence[T], jobs: int = 1
+) -> list[R]:
+    """``[worker(item) for item in items]``, optionally across processes.
+
+    ``jobs <= 1`` (or fewer than two items) runs serially in-process —
+    no pool, no pickling, identical semantics.  Otherwise a
+    ``multiprocessing.Pool`` of ``min(jobs, len(items))`` workers maps
+    the items; results always come back in input order, so output is
+    independent of scheduling.  ``worker`` must be picklable (a
+    module-level function or a :func:`functools.partial` of one).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) < 2:
+        return [worker(item) for item in items]
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(worker, items)
+
+
+def solve_cell(cell: SweepCell, algorithm: str = "greedy") -> dict:
+    """Worker: build the cell's connected UDG, solve it, count everything.
+
+    Runs with instrumentation captured locally (safe under
+    multiprocessing — see the module docstring) and returns a flat,
+    picklable summary::
+
+        {"n": ..., "side": ..., "seed": ..., "algorithm": ...,
+         "cds_size": ..., "dominators": ..., "connectors": ...,
+         "counters": {...}}
+
+    ``algorithm`` is a key of the CLI solver registry (``"greedy"``,
+    ``"waf"``, a baseline name, ...).
+    """
+    from ..cli import _solver_registry
+    from ..graphs.generators import random_connected_udg
+    from ..obs import OBS
+
+    solver = _solver_registry()[algorithm]
+    _, graph = random_connected_udg(cell.n, cell.side, seed=cell.seed)
+    with OBS.capture() as reg:
+        result = solver(graph)
+        counters = reg.counters()
+    return {
+        "n": cell.n,
+        "side": cell.side,
+        "seed": cell.seed,
+        "algorithm": result.algorithm,
+        "cds_size": result.size,
+        "dominators": len(result.dominators),
+        "connectors": len(result.connectors),
+        "counters": counters,
+    }
+
+
+def solve_cells(
+    cells: Sequence[SweepCell], algorithm: str = "greedy", jobs: int = 1
+) -> list[dict]:
+    """Map :func:`solve_cell` over a grid, one result dict per cell."""
+    return parallel_map(partial(solve_cell, algorithm=algorithm), cells, jobs)
+
+
+def _run_experiment_worker(experiment_id: str) -> ExperimentResult:
+    """Module-level worker so experiment runs pickle across processes."""
+    return get_experiment(experiment_id)()
+
+
+def run_experiments_parallel(
+    experiment_ids: Sequence[str], jobs: int = 1
+) -> list[ExperimentResult]:
+    """Run registered experiments, possibly across processes.
+
+    Ids are resolved (and canonicalised) up front so an unknown id
+    raises ``KeyError`` before any process is forked; results come back
+    in the order the ids were given.  Experiment timers/counters stay in
+    the child processes — run with ``jobs=1`` when a merged
+    instrumentation report (``--trace`` / ``--stats-out``) is wanted.
+    """
+    canonical = [get_experiment(eid).experiment_id for eid in experiment_ids]
+    return parallel_map(_run_experiment_worker, canonical, jobs)

@@ -1,7 +1,8 @@
 """Graph substrate: graphs, UDG builders, generators, validators."""
 
 from .graph import Graph
-from .components import UnionFind
+from .components import IntUnionFind, UnionFind
+from .indexed import IndexedGraph
 from .traversal import (
     BFSTree,
     bfs_order,
@@ -9,6 +10,7 @@ from .traversal import (
     dfs_tree,
     connected_components,
     eccentricity,
+    indexed_bfs_tree,
     induced_is_connected,
     is_connected,
     shortest_path_lengths,
@@ -43,6 +45,8 @@ from .convert import from_networkx, to_networkx
 
 __all__ = [
     "Graph",
+    "IndexedGraph",
+    "IntUnionFind",
     "UnionFind",
     "BFSTree",
     "bfs_order",
@@ -50,6 +54,7 @@ __all__ = [
     "dfs_tree",
     "connected_components",
     "eccentricity",
+    "indexed_bfs_tree",
     "induced_is_connected",
     "is_connected",
     "shortest_path_lengths",

@@ -13,7 +13,7 @@ from typing import Generic, Hashable, Iterable, TypeVar
 
 T = TypeVar("T", bound=Hashable)
 
-__all__ = ["UnionFind"]
+__all__ = ["UnionFind", "IntUnionFind"]
 
 
 class UnionFind(Generic[T]):
@@ -95,3 +95,63 @@ class UnionFind(Generic[T]):
         for e in self._parent:
             by_root.setdefault(self.find(e), []).append(e)
         return list(by_root.values())
+
+
+class IntUnionFind:
+    """Disjoint sets over the dense ids ``0..n-1``, on flat arrays.
+
+    The counterpart of :class:`UnionFind` for interned graphs
+    (:class:`repro.graphs.indexed.IndexedGraph`): parents and sizes live
+    in plain lists, so ``find`` is pure integer indexing with no hashing.
+    All ``n`` elements exist as singletons from construction; there is
+    no lazy :meth:`~UnionFind.add`.
+    """
+
+    __slots__ = ("_parent", "_size", "_count")
+
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._count = n
+
+    def __len__(self) -> int:
+        """Number of elements (not sets)."""
+        return len(self._parent)
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets."""
+        return self._count
+
+    def find(self, i: int) -> int:
+        """Representative of the set containing ``i``.
+
+        Iterative path compression, as in :class:`UnionFind`.
+        """
+        parent = self._parent
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns True if a merge happened (they were in different sets).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        size = self._size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        size[ra] += size[rb]
+        self._count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Whether two elements are in the same set."""
+        return self.find(a) == self.find(b)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Generic, Hashable, Iterable, TypeVar
 
 from .graph import Graph
+from .indexed import IndexedGraph
 
 N = TypeVar("N", bound=Hashable)
 
@@ -22,6 +23,7 @@ __all__ = [
     "bfs_order",
     "bfs_tree",
     "dfs_tree",
+    "indexed_bfs_tree",
     "connected_components",
     "is_connected",
     "shortest_path_lengths",
@@ -93,6 +95,31 @@ def bfs_tree(graph: Graph[N], root: N) -> BFSTree[N]:
                 order.append(v)
                 queue.append(v)
     return BFSTree(root=root, order=tuple(order), parent=parent, depth=depth)
+
+
+def indexed_bfs_tree(index: IndexedGraph[N], root: N) -> BFSTree[N]:
+    """BFS spanning tree computed on the CSR kernel.
+
+    Produces a :class:`BFSTree` bit-identical to
+    ``bfs_tree(graph, root)`` on the source graph — the kernel preserves
+    iteration and adjacency order — while the traversal itself runs on
+    flat integer arrays (no per-step hash lookups).
+
+    Raises:
+        KeyError: if ``root`` is not in the indexed graph.
+    """
+    nodes = index.nodes
+    order_ids, parent_ids, depth_ids = index.bfs(index.id_of(root))
+    parent = {
+        nodes[v]: nodes[parent_ids[v]] for v in order_ids if parent_ids[v] >= 0
+    }
+    depth = {nodes[v]: depth_ids[v] for v in order_ids}
+    return BFSTree(
+        root=root,
+        order=tuple(nodes[v] for v in order_ids),
+        parent=parent,
+        depth=depth,
+    )
 
 
 def dfs_tree(graph: Graph[N], root: N) -> BFSTree[N]:

@@ -36,6 +36,31 @@ __all__ = [
     "communication_radius_graph",
 ]
 
+#: Below this node count the grid builder dispatches to the all-pairs
+#: scan: the bucket machinery (hashing cell keys, neighbor lookups)
+#: costs more than the pair tests it avoids (``BENCH_baseline.json``
+#: measured grid ~1.4x slower than naive at n=20; the two cross over
+#: around n≈30 at benchmark densities).
+GRID_SMALL_N = 32
+
+
+def _all_pairs_scan(pts: list[Point], graph: Graph[Point], r_sq: float) -> None:
+    """Add every edge with squared distance at most ``r_sq``; O(n^2).
+
+    The one scan both exact builders share below :data:`GRID_SMALL_N`,
+    so their outputs there are bit-identical including adjacency
+    insertion order.
+    """
+    add_edge = graph.add_edge
+    for i in range(len(pts) - 1):
+        pi = pts[i]
+        pix, piy = pi.x, pi.y
+        for j in range(i + 1, len(pts)):
+            pj = pts[j]
+            dx, dy = pix - pj.x, piy - pj.y
+            if dx * dx + dy * dy <= r_sq:
+                add_edge(pi, pj)
+
 
 def unit_disk_graph_naive(
     points: Sequence[Point], radius: float = 1.0, tol: float = EPS
@@ -49,13 +74,7 @@ def unit_disk_graph_naive(
     graph: Graph[Point] = Graph(nodes=pts)
     r_sq = (radius + tol) * (radius + tol)
     with trace("udg.naive.build"):
-        for i in range(len(pts)):
-            pi = pts[i]
-            for j in range(i + 1, len(pts)):
-                pj = pts[j]
-                dx, dy = pi.x - pj.x, pi.y - pj.y
-                if dx * dx + dy * dy <= r_sq:
-                    graph.add_edge(pi, pj)
+        _all_pairs_scan(pts, graph, r_sq)
     if OBS.enabled:
         n = len(pts)
         OBS.incr("udg.naive.pairs_tested", n * (n - 1) // 2)
@@ -71,7 +90,10 @@ def unit_disk_graph(
     Buckets have side ``radius``, so any edge's endpoints lie in the
     same or neighboring buckets.  Produces a graph identical to
     :func:`unit_disk_graph_naive` (tests assert this); expected time is
-    linear in ``n`` for bounded density.
+    linear in ``n`` for bounded density.  Below :data:`GRID_SMALL_N`
+    nodes the builder dispatches to the all-pairs scan — same trace and
+    counter names (with truthful all-pairs values), and output there is
+    bit-identical to the naive builder's, adjacency order included.
 
     Duplicate points are rejected: two radios at the same coordinates
     would be a single node in the UDG model and silently merging them
@@ -83,34 +105,52 @@ def unit_disk_graph(
         return graph
     r_sq = (radius + tol) * (radius + tol)
     counting = OBS.enabled
+    n = len(pts)
+    if n < GRID_SMALL_N:
+        with trace("udg.grid.build"):
+            _all_pairs_scan(pts, graph, r_sq)
+        if counting:
+            OBS.incr("udg.grid.pairs_tested", n * (n - 1) // 2)
+            OBS.incr("udg.grid.edges_emitted", graph.edge_count())
+        return graph
     pairs_tested = 0
     with trace("udg.grid.build"):
+        floor = math.floor
         buckets: dict[tuple[int, int], list[Point]] = {}
+        setdefault = buckets.setdefault
         for p in pts:
-            key = (int(math.floor(p.x / radius)), int(math.floor(p.y / radius)))
-            buckets.setdefault(key, []).append(p)
+            setdefault(
+                (int(floor(p.x / radius)), int(floor(p.y / radius))), []
+            ).append(p)
+        add_edge = graph.add_edge
+        bucket_get = buckets.get
         for (bx, by), cell in buckets.items():
             # Within-cell pairs.
+            m = len(cell)
             if counting:
-                pairs_tested += len(cell) * (len(cell) - 1) // 2
-            for i in range(len(cell)):
-                for j in range(i + 1, len(cell)):
-                    dx, dy = cell[i].x - cell[j].x, cell[i].y - cell[j].y
+                pairs_tested += m * (m - 1) // 2
+            for i in range(m - 1):
+                pi = cell[i]
+                pix, piy = pi.x, pi.y
+                for j in range(i + 1, m):
+                    pj = cell[j]
+                    dx, dy = pix - pj.x, piy - pj.y
                     if dx * dx + dy * dy <= r_sq:
-                        graph.add_edge(cell[i], cell[j])
+                        add_edge(pi, pj)
             # Cross-cell pairs: scan half the neighbors to visit each
             # unordered cell pair once.
             for ox, oy in ((1, -1), (1, 0), (1, 1), (0, 1)):
-                other = buckets.get((bx + ox, by + oy))
+                other = bucket_get((bx + ox, by + oy))
                 if not other:
                     continue
                 if counting:
-                    pairs_tested += len(cell) * len(other)
+                    pairs_tested += m * len(other)
                 for p in cell:
+                    px, py = p.x, p.y
                     for q in other:
-                        dx, dy = p.x - q.x, p.y - q.y
+                        dx, dy = px - q.x, py - q.y
                         if dx * dx + dy * dy <= r_sq:
-                            graph.add_edge(p, q)
+                            add_edge(p, q)
     if counting:
         OBS.incr("udg.grid.pairs_tested", pairs_tested)
         OBS.incr("udg.grid.edges_emitted", graph.edge_count())
@@ -154,25 +194,34 @@ def quasi_unit_disk_graph(
     topology.  Used by the robustness experiments: the paper's
     guarantees assume an ideal UDG, and this lets us measure how the
     algorithms degrade when that assumption is violated.
+
+    Shares the exact builders' input contract: duplicate points are
+    rejected, and an instrumented run reports
+    ``udg.quasi.pairs_tested`` / ``udg.quasi.edges_emitted``.
     """
     if not (0.0 < inner_radius <= outer_radius):
         raise ValueError("need 0 < inner_radius <= outer_radius")
-    graph: Graph[Point] = Graph(nodes=points)
-    pts = list(points)
+    pts = _checked_points(points)
+    graph: Graph[Point] = Graph(nodes=pts)
     inner_sq = inner_radius * inner_radius
     outer_sq = (outer_radius + EPS) * (outer_radius + EPS)
-    for i in range(len(pts)):
-        pi = pts[i]
-        for j in range(i + 1, len(pts)):
-            pj = pts[j]
-            dx, dy = pi.x - pj.x, pi.y - pj.y
-            d_sq = dx * dx + dy * dy
-            if d_sq > outer_sq:
-                continue
-            if d_sq <= inner_sq:
-                graph.add_edge(pi, pj)
-                continue
-            coin = hash((round(pi.x, 9), round(pi.y, 9), round(pj.x, 9), round(pj.y, 9), seed))
-            if coin % 2 == 0:
-                graph.add_edge(pi, pj)
+    with trace("udg.quasi.build"):
+        for i in range(len(pts) - 1):
+            pi = pts[i]
+            for j in range(i + 1, len(pts)):
+                pj = pts[j]
+                dx, dy = pi.x - pj.x, pi.y - pj.y
+                d_sq = dx * dx + dy * dy
+                if d_sq > outer_sq:
+                    continue
+                if d_sq <= inner_sq:
+                    graph.add_edge(pi, pj)
+                    continue
+                coin = hash((round(pi.x, 9), round(pi.y, 9), round(pj.x, 9), round(pj.y, 9), seed))
+                if coin % 2 == 0:
+                    graph.add_edge(pi, pj)
+    if OBS.enabled:
+        n = len(pts)
+        OBS.incr("udg.quasi.pairs_tested", n * (n - 1) // 2)
+        OBS.incr("udg.quasi.edges_emitted", graph.edge_count())
     return graph

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence, TypeVar
 
 from ..graphs.graph import Graph
+from ..graphs.indexed import IndexedGraph
 from ..graphs.traversal import BFSTree, bfs_tree, dfs_tree
 from ..obs import OBS, trace
 
@@ -72,8 +73,46 @@ def first_fit_mis_in_order(graph: Graph[N], order: Sequence[N]) -> list[N]:
     return chosen
 
 
+def _first_fit_mis_indexed(index: IndexedGraph[N], root: N) -> FirstFitMIS:
+    """The BFS + first-fit pipeline on the CSR kernel.
+
+    Bit-identical to the dict-based path (the kernel preserves
+    iteration and adjacency order); the scan itself runs on flat
+    integer arrays with a byte-mask membership test.
+    """
+    nodes = index.nodes
+    order_ids, parent_ids, depth_ids = index.bfs(index.id_of(root))
+    if len(order_ids) != len(index):
+        raise ValueError("graph must be connected for the two-phased framework")
+    indptr, indices = index.indptr, index.indices
+    chosen_mask = bytearray(len(index))
+    chosen_ids: list[int] = []
+    append = chosen_ids.append
+    for v in order_ids:
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            if chosen_mask[u]:
+                break
+        else:
+            chosen_mask[v] = 1
+            append(v)
+    if OBS.enabled:
+        OBS.incr("mis.nodes_scanned", len(order_ids))
+        OBS.incr("mis.selected", len(chosen_ids))
+    tree = BFSTree(
+        root=root,
+        order=tuple(nodes[v] for v in order_ids),
+        parent={nodes[v]: nodes[parent_ids[v]] for v in order_ids if parent_ids[v] >= 0},
+        depth={nodes[v]: depth_ids[v] for v in order_ids},
+    )
+    return FirstFitMIS(nodes=tuple(nodes[v] for v in chosen_ids), tree=tree)
+
+
 def first_fit_mis(
-    graph: Graph[N], root: N | None = None, tree_kind: str = "bfs"
+    graph: Graph[N],
+    root: N | None = None,
+    tree_kind: str = "bfs",
+    *,
+    index: IndexedGraph[N] | None = None,
 ) -> FirstFitMIS:
     """Tree-order first-fit MIS of a connected graph.
 
@@ -90,6 +129,14 @@ def first_fit_mis(
     non-root node's parent is visited earlier, which is what the WAF
     connector correctness argument needs.
 
+    ``index`` optionally supplies a prebuilt
+    :class:`~repro.graphs.indexed.IndexedGraph` view of ``graph``; the
+    BFS and first-fit scan then run on its flat arrays (bit-identical
+    selection, cheaper per step).  Callers that run several phases on
+    one topology build the view once and thread it through — building
+    it costs as much as one BFS, so a one-shot caller gains nothing.
+    The view must describe ``graph``; it is ignored for ``"dfs"``.
+
     Raises:
         ValueError: if the graph is empty or not connected (the
             two-phased framework is defined on connected topologies),
@@ -102,6 +149,8 @@ def first_fit_mis(
     if root is None:
         root = min(graph.nodes())
     with trace("mis.first_fit"):
+        if index is not None and tree_kind == "bfs":
+            return _first_fit_mis_indexed(index, root)
         builder = bfs_tree if tree_kind == "bfs" else dfs_tree
         tree = builder(graph, root)
         if len(tree.order) != len(graph):

@@ -1,0 +1,139 @@
+"""Randomized equivalence of :class:`LazyGainTracker` vs the full rescan.
+
+PR 2's lazy greedy is only admissible because its selections are
+bit-identical to :class:`GainTracker`'s — same (node, gain) at every
+round under every tie-break mode, with only the amount of re-scoring
+work allowed to differ.  These tests lock the two trackers together
+step by step on the randomized UDG suite and drive every shared API
+surface against the reference.
+"""
+
+import random
+
+import pytest
+
+from repro.cds import GainTracker, LazyGainTracker, gain_of
+from repro.graphs import IndexedGraph
+from repro.mis import first_fit_mis
+from repro.obs import OBS
+
+TIE_BREAKS = ("min", "max", "degree")
+
+
+def _pair(graph):
+    """A (reference, lazy) tracker pair seeded with the same MIS."""
+    mis = first_fit_mis(graph)
+    index = IndexedGraph.from_graph(graph)
+    return GainTracker(graph, mis.nodes), LazyGainTracker(index, mis.nodes)
+
+
+class TestSelectionEquivalence:
+    @pytest.mark.parametrize("tie_break", TIE_BREAKS)
+    def test_same_node_gain_sequence_along_full_runs(self, tie_break, udg_suite):
+        for _, graph in udg_suite:
+            reference, lazy = _pair(graph)
+            while reference.component_count > 1:
+                expected = reference.best_connector(tie_break)
+                assert lazy.best_connector(tie_break) == expected
+                reference.add(expected[0])
+                realized = lazy.add(expected[0])
+                assert realized == expected[1]
+                assert lazy.component_count == reference.component_count
+            assert lazy.component_count == 1
+            assert lazy.included == reference.included
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_survives_off_policy_adds(self, seed, udg_suite):
+        # Interleave adds the greedy would never pick: the caches must
+        # stay exact under arbitrary add sequences, not just argmax ones.
+        rng = random.Random(200 + seed)
+        _, graph = udg_suite[seed % len(udg_suite)]
+        reference, lazy = _pair(graph)
+        outside = [v for v in graph.nodes() if v not in reference.included]
+        rng.shuffle(outside)
+        for w in outside:
+            if reference.component_count > 1:
+                tie_break = TIE_BREAKS[rng.randrange(3)]
+                assert lazy.best_connector(tie_break) == (
+                    reference.best_connector(tie_break)
+                )
+            assert lazy.add(w) == reference.add(w)
+
+    def test_lazy_does_strictly_fewer_evaluations(self, udg_suite):
+        _, graph = udg_suite[0]
+
+        def run(make):
+            mis = first_fit_mis(graph)
+            tracker = make(mis)
+            with OBS.capture() as reg:
+                while tracker.component_count > 1:
+                    tracker.add(tracker.best_connector()[0])
+                return reg.counters().get("gain.evaluations", 0)
+
+        full = run(lambda mis: GainTracker(graph, mis.nodes))
+        lazy = run(
+            lambda mis: LazyGainTracker(IndexedGraph.from_graph(graph), mis.nodes)
+        )
+        assert 0 < lazy < full
+
+
+class TestMirroredReadApi:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gain_and_components_match_under_random_adds(self, seed, udg_suite):
+        rng = random.Random(seed)
+        _, graph = udg_suite[(2 * seed) % len(udg_suite)]
+        reference, lazy = _pair(graph)
+        included = set(reference.included)
+        remaining = [v for v in graph.nodes() if v not in included]
+        rng.shuffle(remaining)
+        for w in remaining:
+            assert lazy.gain(w) == reference.gain(w) == gain_of(graph, included, w)
+            assert len(lazy.adjacent_components(w)) == len(
+                reference.adjacent_components(w)
+            )
+            lazy.add(w)
+            reference.add(w)
+            included.add(w)
+        assert lazy.dominators == reference.dominators
+        assert lazy.included == reference.included
+
+    def test_gain_of_included_node_is_zero(self, udg_suite):
+        _, graph = udg_suite[1]
+        _, lazy = _pair(graph)
+        for d in lazy.dominators:
+            assert lazy.gain(d) == 0
+
+
+class TestErrorContract:
+    def test_empty_dominators_rejected(self, path5):
+        with pytest.raises(ValueError, match="non-empty"):
+            LazyGainTracker(IndexedGraph.from_graph(path5), [])
+
+    def test_unknown_dominator_rejected(self, path5):
+        with pytest.raises(KeyError, match="not in graph"):
+            LazyGainTracker(IndexedGraph.from_graph(path5), [99])
+
+    def test_unknown_tie_break_rejected(self, path5):
+        tracker = LazyGainTracker(IndexedGraph.from_graph(path5), [0, 4])
+        with pytest.raises(ValueError, match="tie_break"):
+            tracker.best_connector("median")
+
+    def test_double_add_rejected(self, path5):
+        tracker = LazyGainTracker(IndexedGraph.from_graph(path5), [0, 4])
+        tracker.add(2)
+        with pytest.raises(ValueError, match="already included"):
+            tracker.add(2)
+
+    def test_best_connector_when_connected_rejected(self, path5):
+        tracker = LazyGainTracker(IndexedGraph.from_graph(path5), [0, 1])
+        with pytest.raises(ValueError, match="already connected"):
+            tracker.best_connector()
+
+    def test_no_positive_gain_rejected(self):
+        from repro.graphs import Graph
+
+        # Two components: no connector can ever join them.
+        graph = Graph(edges=[(0, 1), (2, 3)])
+        tracker = LazyGainTracker(IndexedGraph.from_graph(graph), [0, 2])
+        with pytest.raises(ValueError, match="positive gain"):
+            tracker.best_connector()

@@ -1,0 +1,97 @@
+"""The parallel sweep runner must be invisible in the results.
+
+``jobs=N`` is only admissible because output is bit-identical to the
+serial loop — same cells, same order, same numbers.  These tests pin
+that on the map primitive, the sweep workers, and the experiment
+runner (using the cheapest registered experiments to keep the forked
+runs fast).
+"""
+
+import pytest
+
+from repro.experiments.instances import default_side
+from repro.experiments.parallel import (
+    SweepCell,
+    default_jobs,
+    parallel_map,
+    run_experiments_parallel,
+    solve_cell,
+    solve_cells,
+    sweep_cells,
+)
+
+
+def _square(x):
+    """Module-level so it pickles across pool workers."""
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_semantics(self):
+        assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+        assert parallel_map(_square, []) == []
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=2) == [
+            _square(x) for x in items
+        ]
+
+    def test_single_item_stays_in_process(self):
+        # len < 2 short-circuits: even unpicklable workers are fine.
+        assert parallel_map(lambda x: x + 1, [41], jobs=4) == [42]
+
+    def test_default_jobs_is_sane(self):
+        assert default_jobs() >= 1
+
+
+class TestSweepCells:
+    def test_grid_is_n_major_and_deterministic(self):
+        cells = sweep_cells([10, 20], [1, 2], side=5.0)
+        assert cells == [
+            SweepCell(10, 5.0, 1),
+            SweepCell(10, 5.0, 2),
+            SweepCell(20, 5.0, 1),
+            SweepCell(20, 5.0, 2),
+        ]
+
+    def test_side_callable(self):
+        cells = sweep_cells([4, 9], [0], side=lambda n: float(n) ** 0.5)
+        assert [c.side for c in cells] == [2.0, 3.0]
+
+    def test_side_default(self):
+        (cell,) = sweep_cells([25], [7])
+        assert cell.side == default_side(25)
+
+
+class TestSolveCells:
+    def test_solve_cell_shape(self):
+        out = solve_cell(SweepCell(12, 3.0, 5), algorithm="greedy")
+        assert out["n"] == 12 and out["seed"] == 5
+        assert out["cds_size"] == out["dominators"] + out["connectors"]
+        assert out["counters"]["mis.selected"] == out["dominators"]
+        assert out["counters"]["gain.evaluations"] > 0
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "waf"])
+    def test_parallel_results_identical_to_serial(self, algorithm):
+        cells = sweep_cells([10, 14], [1, 2], side=3.2)
+        serial = solve_cells(cells, algorithm=algorithm, jobs=1)
+        parallel = solve_cells(cells, algorithm=algorithm, jobs=2)
+        assert serial == parallel  # counters included, order included
+
+
+class TestRunExperimentsParallel:
+    CHEAP = ["F1F2", "T6"]
+
+    def test_matches_serial_run(self):
+        serial = run_experiments_parallel(self.CHEAP, jobs=1)
+        forked = run_experiments_parallel(self.CHEAP, jobs=2)
+        assert [r.experiment_id for r in forked] == [
+            r.experiment_id for r in serial
+        ]
+        assert [r.render() for r in forked] == [r.render() for r in serial]
+        assert all(r.passed for r in forked)
+
+    def test_unknown_id_raises_before_forking(self):
+        with pytest.raises(KeyError):
+            run_experiments_parallel(["NOPE"], jobs=2)

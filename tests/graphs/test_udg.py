@@ -83,6 +83,42 @@ class TestUnitDiskGraph:
         assert g.edge_count() == 0
 
 
+class TestGridSmallNDispatch:
+    def test_small_n_adjacency_is_bit_identical_to_naive(self):
+        # Below GRID_SMALL_N the grid builder runs the shared all-pairs
+        # scan, so not just edge sets but adjacency *insertion order*
+        # matches the naive builder (downstream BFS order depends on it).
+        from repro.graphs.udg import GRID_SMALL_N
+
+        for seed in range(3):
+            pts = uniform_points(GRID_SMALL_N - 1, 4.5, seed=seed)
+            grid = unit_disk_graph(pts)
+            naive = unit_disk_graph_naive(pts)
+            for p in pts:
+                assert grid.neighbors(p) == naive.neighbors(p)
+
+    def test_small_n_counters_are_truthful_all_pairs(self):
+        from repro.obs import OBS
+
+        pts = uniform_points(20, 3.8, seed=1)
+        with OBS.capture() as reg:
+            g = unit_disk_graph(pts)
+            counters = reg.counters()
+        assert counters["udg.grid.pairs_tested"] == 20 * 19 // 2
+        assert counters["udg.grid.edges_emitted"] == g.edge_count()
+
+    def test_large_n_still_prunes_pairs(self):
+        from repro.graphs.udg import GRID_SMALL_N
+        from repro.obs import OBS
+
+        n = 2 * GRID_SMALL_N
+        pts = uniform_points(n, 6.5, seed=2)
+        with OBS.capture() as reg:
+            unit_disk_graph(pts)
+            counters = reg.counters()
+        assert counters["udg.grid.pairs_tested"] < n * (n - 1) // 2
+
+
 class TestCommunicationRadius:
     def test_scaled_radius(self):
         pts = [Point(0, 0), Point(30, 0), Point(70, 0)]
@@ -124,3 +160,18 @@ class TestQuasiUDG:
     def test_invalid_radii(self):
         with pytest.raises(ValueError):
             quasi_unit_disk_graph([], inner_radius=1.5, outer_radius=1.0)
+
+    def test_duplicate_points_rejected_like_exact_builders(self):
+        # docs/usage.md §1: all builders share the input contract.
+        with pytest.raises(ValueError, match="duplicate"):
+            quasi_unit_disk_graph([Point(0, 0), Point(0, 0)])
+
+    def test_counters_report_all_pairs(self):
+        from repro.obs import OBS
+
+        pts = uniform_points(15, 3.0, seed=6)
+        with OBS.capture() as reg:
+            g = quasi_unit_disk_graph(pts)
+            counters = reg.counters()
+        assert counters["udg.quasi.pairs_tested"] == 15 * 14 // 2
+        assert counters["udg.quasi.edges_emitted"] == g.edge_count()
