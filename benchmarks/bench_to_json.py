@@ -2,11 +2,13 @@
 
 A plain script (not a pytest bench): it rebuilds the shared benchmark
 fixtures (20/60/150-node connected UDGs, same parameters as
-``conftest.py``), times the UDG builders and both of the paper's
-algorithms on each, captures one instrumented run's counters per case,
-and writes everything as JSON — the files (``BENCH_baseline.json`` from
-PR 1, ``BENCH_pr2.json`` after the indexed-kernel/lazy-greedy PR) that
-optimisation PRs compare against.
+``conftest.py``, plus the 1000/4000/10000-node scaling tier), times the
+UDG builders, the phase-1 MIS and all three solvers — with the CSR and
+bitset kernels pinned separately for the kernelized ones — captures one
+instrumented run's counters per case, and writes everything as JSON —
+the files (``BENCH_baseline.json`` from PR 1, ``BENCH_pr2.json`` after
+the indexed-kernel/lazy-greedy PR, ``BENCH_pr3.json`` after the bitset
+kernel) that optimisation PRs compare against.
 
 Timing runs are executed with instrumentation *disabled* so the
 baseline measures the algorithms, not the bookkeeping; a separate
@@ -25,30 +27,65 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
+import subprocess
 import sys
 import time
 from pathlib import Path
 
 from repro import __version__
-from repro.cds import greedy_connector_cds, waf_cds
+from repro.cds import greedy_connector_cds, steiner_cds, waf_cds
 from repro.experiments.parallel import parallel_map
 from repro.graphs import random_connected_udg
+from repro.graphs.bitset import build_kernel
 from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
+from repro.mis.first_fit import first_fit_mis_nodes
 from repro.obs import OBS, RunRecord
 
 SCHEMA_ID = "repro.obs/bench-baseline/v1"
 
-#: The shared fixtures of ``benchmarks/conftest.py``: name -> (n, side, seed).
+#: The shared fixtures of ``benchmarks/conftest.py`` plus the
+#: large-instance scaling tier: name -> (n, side, seed).  The tiers
+#: keep deployment density fixed (~3.1 nodes per unit square, mean
+#: degree ~9.5) so only ``n`` varies along the scaling axis.
 FIXTURES: dict[str, tuple[int, float, int]] = {
     "udg20": (20, 3.8, 1),
     "udg60": (60, 6.2, 2),
     "udg150": (150, 8.0, 3),
+    "udg1000": (1000, 18.0, 4),
+    "udg4000": (4000, 36.0, 5),
+    "udg10000": (10000, 57.0, 6),
 }
 
-#: Benchmarked case names, in output order per fixture.
-CASE_NAMES = ("udg_build_naive", "udg_build_grid", "waf", "greedy")
+#: Fixtures benchmarked when ``--fixtures`` is not given: the cheap
+#: tier only, so the default invocation (and the CI counter smoke)
+#: stays fast.  Select the scaling tier explicitly, e.g.
+#: ``--fixtures udg1000,udg4000,udg10000``.
+DEFAULT_FIXTURES = ("udg20", "udg60", "udg150")
+
+#: Node count from which the O(n^2) naive UDG builder is skipped.
+NAIVE_BUILD_MAX_N = 2000
+
+#: Benchmarked case names, in output order per fixture.  ``waf`` and
+#: ``greedy`` run the solvers' defaults (``kernel="auto"``) as every
+#: earlier baseline did; the ``*_indexed`` / ``*_bitset`` pairs pin
+#: the kernel so the scaling table can compare the CSR and bitmask
+#: code paths on identical instances.
+CASE_NAMES = (
+    "udg_build_naive",
+    "udg_build_grid",
+    "mis_indexed",
+    "mis_bitset",
+    "waf",
+    "waf_indexed",
+    "waf_bitset",
+    "greedy",
+    "greedy_indexed",
+    "greedy_bitset",
+    "steiner",
+)
 
 
 def _cases(points, graph):
@@ -56,9 +93,43 @@ def _cases(points, graph):
     return {
         "udg_build_naive": lambda: unit_disk_graph_naive(points),
         "udg_build_grid": lambda: unit_disk_graph(points),
+        "mis_indexed": lambda: first_fit_mis_nodes(
+            graph, index=build_kernel(graph, "indexed")
+        ),
+        "mis_bitset": lambda: first_fit_mis_nodes(
+            graph, index=build_kernel(graph, "bitset")
+        ),
         "waf": lambda: waf_cds(graph),
+        "waf_indexed": lambda: waf_cds(graph, kernel="indexed"),
+        "waf_bitset": lambda: waf_cds(graph, kernel="bitset"),
         "greedy": lambda: greedy_connector_cds(graph),
+        "greedy_indexed": lambda: greedy_connector_cds(graph, kernel="indexed"),
+        "greedy_bitset": lambda: greedy_connector_cds(graph, kernel="bitset"),
+        "steiner": lambda: steiner_cds(graph),
     }
+
+
+def _fixture_cases(fixture: str) -> tuple[str, ...]:
+    """The cases run for one fixture (the naive builder is quadratic)."""
+    n = FIXTURES[fixture][0]
+    if n >= NAIVE_BUILD_MAX_N:
+        return tuple(c for c in CASE_NAMES if c != "udg_build_naive")
+    return CASE_NAMES
+
+
+def _git_commit() -> str | None:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
 
 
 def _result_sizes(value) -> dict:
@@ -68,6 +139,8 @@ def _result_sizes(value) -> dict:
             "dominators": len(value.dominators),
             "connectors": len(value.connectors),
         }
+    if isinstance(value, tuple):  # a dominator tuple (mis cases)
+        return {"dominators": len(value)}
     return {"nodes": len(value), "edges": value.edge_count()}
 
 
@@ -115,16 +188,23 @@ def _case_task(task: tuple[str, str, int]) -> dict:
 def build_baseline(
     repeats: int, fixtures: list[str] | None = None, jobs: int = 1
 ) -> dict:
-    names = list(FIXTURES) if fixtures is None else list(fixtures)
+    names = list(DEFAULT_FIXTURES) if fixtures is None else list(fixtures)
     for name in names:
         if name not in FIXTURES:
             raise KeyError(f"unknown fixture {name!r}; known: {sorted(FIXTURES)}")
-    tasks = [(case, fixture, repeats) for fixture in names for case in CASE_NAMES]
+    tasks = [
+        (case, fixture, repeats)
+        for fixture in names
+        for case in _fixture_cases(fixture)
+    ]
     runs = parallel_map(_case_task, tasks, jobs=jobs)
     return {
         "schema": SCHEMA_ID,
         "version": __version__,
         "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": _git_commit(),
         "repeats": repeats,
         "fixtures": {
             name: {"n": n, "side": side, "seed": seed}
@@ -133,6 +213,19 @@ def build_baseline(
         },
         "runs": runs,
     }
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs`` / ``--repeats``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
 
 
 def main(argv=None) -> int:
@@ -144,16 +237,23 @@ def main(argv=None) -> int:
         help="output path (default: <repo root>/BENCH_baseline.json)",
     )
     parser.add_argument(
-        "--repeats", type=int, default=7, help="timing repetitions per case"
+        "--repeats",
+        type=_positive_int,
+        default=7,
+        help="timing repetitions per case",
     )
     parser.add_argument(
         "--fixtures",
         metavar="NAMES",
-        help=f"comma-separated fixture subset (default: all of {','.join(FIXTURES)})",
+        help=(
+            f"comma-separated fixture subset (default: "
+            f"{','.join(DEFAULT_FIXTURES)}; also available: "
+            f"{','.join(n for n in FIXTURES if n not in DEFAULT_FIXTURES)})"
+        ),
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help=(
@@ -166,7 +266,7 @@ def main(argv=None) -> int:
 
     fixtures = args.fixtures.split(",") if args.fixtures else None
     try:
-        baseline = build_baseline(args.repeats, fixtures, max(1, args.jobs))
+        baseline = build_baseline(args.repeats, fixtures, args.jobs)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2

@@ -10,6 +10,7 @@
 from .base import CDSResult
 from .gain import GainTracker, component_count, gain_of
 from .lazy_gain import LazyGainTracker
+from .bitset_gain import BitsetGainTracker
 from .waf import waf_cds, waf_connectors
 from .greedy_connector import greedy_connector_cds, greedy_connectors
 from .steiner import steiner_cds, steiner_connectors
@@ -33,6 +34,7 @@ __all__ = [
     "CDSResult",
     "GainTracker",
     "LazyGainTracker",
+    "BitsetGainTracker",
     "component_count",
     "gain_of",
     "waf_cds",

@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, TypeVar
 
+from ..graphs.bitset import BitsetGraph, build_kernel
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
-from ..mis.first_fit import first_fit_mis
+from ..mis.first_fit import _smallest_node, first_fit_mis_nodes
 from ..obs import OBS, trace
 from .base import CDSResult
+from .bitset_gain import BitsetGainTracker
 from .lazy_gain import LazyGainTracker
 
 N = TypeVar("N", bound=Hashable)
@@ -33,25 +35,28 @@ def greedy_connectors(
     graph: Graph[N],
     dominators: Iterable[N],
     tie_break: str = "min",
-    index: IndexedGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
 ) -> tuple[list[N], list[int], list[int]]:
     """Run the greedy phase 2 on an already-chosen dominating set.
 
     Selection runs on :class:`~repro.cds.lazy_gain.LazyGainTracker` —
+    or, when ``index`` is a bitset view, on
+    :class:`~repro.cds.bitset_gain.BitsetGainTracker` — both
     candidate-restricted, cache-invalidating, and bit-identical to the
     reference :class:`~repro.cds.gain.GainTracker` rescan under every
-    tie-break mode (the randomized suite in
-    ``tests/cds/test_lazy_gain.py`` holds the two to the same
-    ``(node, gain)`` sequence).
+    tie-break mode (the randomized suites in
+    ``tests/cds/test_lazy_gain.py`` and ``tests/cds/test_bitset.py``
+    hold the trackers to the same ``(node, gain)`` sequence).
 
     Args:
         graph: the connected topology.
         dominators: the phase-1 MIS (any dominating set with the 2-hop
             separation property works; Lemma 9 needs it).
         tie_break: gain tie resolution ("min" / "max" / "degree"),
-            forwarded to :meth:`LazyGainTracker.best_connector`.
-        index: optional prebuilt CSR view of ``graph``; built here when
-            absent (callers running several phases should build it once).
+            forwarded to the tracker's ``best_connector``.
+        index: optional prebuilt CSR or bitset view of ``graph``; a CSR
+            view is built here when absent (callers running several
+            phases should build one kernel once and thread it through).
 
     Returns:
         ``(connectors, gain_history, q_history)`` where ``q_history[i]``
@@ -60,7 +65,10 @@ def greedy_connectors(
     """
     if index is None:
         index = IndexedGraph.from_graph(graph)
-    tracker = LazyGainTracker(index, dominators)
+    if isinstance(index, BitsetGraph):
+        tracker = BitsetGainTracker(index, dominators)
+    else:
+        tracker = LazyGainTracker(index, dominators)
     connectors: list[N] = []
     gains: list[int] = []
     q_values: list[int] = [tracker.component_count]
@@ -77,7 +85,10 @@ def greedy_connectors(
 
 
 def greedy_connector_cds(
-    graph: Graph[N], root: N | None = None, tie_break: str = "min"
+    graph: Graph[N],
+    root: N | None = None,
+    tie_break: str = "min",
+    kernel: str = "auto",
 ) -> CDSResult:
     """Run the full Section IV algorithm.
 
@@ -85,13 +96,18 @@ def greedy_connector_cds(
         graph: a connected topology (UDG for the guarantee to apply).
         root: phase-1 tree root / leader; defaults to the smallest node.
         tie_break: gain tie resolution ("min" / "max" / "degree").
+        kernel: graph-kernel selection for the hot loops — one of
+            :data:`~repro.graphs.bitset.KERNELS`.  ``"auto"`` (default)
+            picks by instance size; the result is identical under every
+            kernel.
 
     Returns:
         :class:`CDSResult` with ``meta['gain_history']`` and
         ``meta['q_history']`` recording the greedy trajectory.
 
     Raises:
-        ValueError: if the graph is empty or disconnected.
+        ValueError: if the graph is empty or disconnected, or on an
+            unknown ``kernel``.
     """
     if len(graph) == 1:
         only = next(iter(graph))
@@ -101,21 +117,31 @@ def greedy_connector_cds(
             dominators=(only,),
             connectors=(),
         )
-    index = IndexedGraph.from_graph(graph)
+    index = build_kernel(graph, kernel)
+    if isinstance(index, BitsetGraph):
+        # The gain tracker touches essentially every row; forcing the
+        # bulk mask build up front lets the MIS cover scan share the
+        # flat list instead of warming per-row cache entries it would
+        # immediately supersede.
+        index.neighbor_masks
+    if root is None:
+        root = _smallest_node(graph)
     with trace("greedy.phase1"):
-        mis = first_fit_mis(graph, root, index=index)
+        # The greedy never reads tree parents, so phase 1 skips the
+        # spanning-tree assembly the WAF connector phase needs.
+        mis_nodes = first_fit_mis_nodes(graph, root, index=index)
     with trace("greedy.phase2"):
         connectors, gains, q_values = greedy_connectors(
-            graph, mis.nodes, tie_break, index
+            graph, mis_nodes, tie_break, index
         )
-    nodes = frozenset(mis.nodes) | frozenset(connectors)
+    nodes = frozenset(mis_nodes) | frozenset(connectors)
     return CDSResult(
         algorithm="greedy-connector",
         nodes=nodes,
-        dominators=tuple(mis.nodes),
+        dominators=mis_nodes,
         connectors=tuple(connectors),
         meta={
-            "root": mis.tree.root,
+            "root": root,
             "gain_history": tuple(gains),
             "q_history": tuple(q_values),
         },

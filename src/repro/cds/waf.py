@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Hashable, TypeVar
 
+from ..graphs.bitset import BitsetGraph, build_kernel, mask_of
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
 from ..mis.first_fit import FirstFitMIS, first_fit_mis
@@ -34,17 +35,20 @@ __all__ = ["waf_cds", "waf_connectors"]
 
 
 def waf_connectors(
-    graph: Graph[N], mis: FirstFitMIS, index: IndexedGraph[N] | None = None
+    graph: Graph[N],
+    mis: FirstFitMIS,
+    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
 ) -> list[N]:
     """Phase 2 of WAF: ``{s}`` plus tree parents of ``I \\ I(s)``.
 
     Returns the connectors in a deterministic order (``s`` first, then
     parents in MIS selection order, deduplicated).  ``index`` optionally
-    supplies a prebuilt CSR view of ``graph`` so the coverage scan runs
-    on flat arrays with a byte-mask MIS membership test; the selected
-    ``s`` (and hence the connectors) is identical either way.  Each
-    candidate's coverage is computed exactly once, so
-    ``waf.coverage_evaluations`` equals the root's degree.
+    supplies a prebuilt CSR or bitset view of ``graph`` so the coverage
+    scan runs on flat arrays with a byte-mask MIS membership test — or,
+    on the bitset kernel, as one AND-plus-popcount per candidate against
+    the MIS mask; the selected ``s`` (and hence the connectors) is
+    identical either way.  Each candidate's coverage is computed exactly
+    once, so ``waf.coverage_evaluations`` equals the root's degree.
     """
     tree = mis.tree
     root = tree.root
@@ -54,7 +58,15 @@ def waf_connectors(
         return []
     # s: the root's neighbor adjacent to the most MIS nodes; ties to the
     # smallest node for determinism.
-    if index is not None:
+    if isinstance(index, BitsetGraph):
+        id_of = index.id_of
+        mis_mask = mask_of((id_of(v) for v in mis_set), len(index))
+        nbr = index.neighbor_mask
+        coverages = [(nbr(id_of(u)) & mis_mask).bit_count() for u in root_neighbors]
+        if OBS.enabled:
+            OBS.incr("bitset.word_ops", len(root_neighbors) * index.words)
+            OBS.incr("bitset.popcounts", len(root_neighbors))
+    elif index is not None:
         indptr, indices = index.indptr, index.indices
         in_mis = bytearray(len(index))
         for v in mis_set:
@@ -95,7 +107,10 @@ def waf_connectors(
 
 
 def waf_cds(
-    graph: Graph[N], root: N | None = None, tree_kind: str = "bfs"
+    graph: Graph[N],
+    root: N | None = None,
+    tree_kind: str = "bfs",
+    kernel: str = "auto",
 ) -> CDSResult:
     """Run the full WAF two-phased algorithm.
 
@@ -104,20 +119,29 @@ def waf_cds(
         root: tree root / leader; defaults to the smallest node.
         tree_kind: spanning tree driving phase 1 ("bfs" per [10], or
             "dfs" — Section III allows an arbitrary rooted tree).
+        kernel: graph-kernel selection for the hot loops — one of
+            :data:`~repro.graphs.bitset.KERNELS`.  ``"auto"`` (default)
+            resolves to the CSR kernel at every size: WAF's coverage
+            scan walks short adjacency rows and is not mask-bound, so
+            the bitset build never pays for itself here (see
+            ``docs/performance.md`` §large-n).  Pass ``"bitset"``
+            explicitly to exercise the mask-based coverage scan; the
+            result is identical under every kernel.
 
     Returns:
         A validated-shape :class:`CDSResult` with ``dominators`` the
         phase-1 MIS and ``connectors`` the phase-2 set.
 
     Raises:
-        ValueError: if the graph is empty or disconnected.
+        ValueError: if the graph is empty or disconnected, or on an
+            unknown ``kernel``.
     """
     if len(graph) == 1:
         only = next(iter(graph))
         return CDSResult(
             algorithm="waf", nodes=frozenset([only]), dominators=(only,), connectors=()
         )
-    index = IndexedGraph.from_graph(graph)
+    index = build_kernel(graph, kernel, auto_bitset=False)
     with trace("waf.phase1"):
         mis = first_fit_mis(graph, root, tree_kind, index=index)
     with trace("waf.phase2"):

@@ -29,12 +29,26 @@ the run) and ``--stats-out FILE`` (write a schema-checked
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
 from .experiments.harness import all_experiments, get_experiment
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
 
 
 def _solver_registry():
@@ -77,7 +91,7 @@ def _experiments_main(argv: Sequence[str]) -> int:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help=(
@@ -97,7 +111,7 @@ def _experiments_main(argv: Sequence[str]) -> int:
 
     from .obs import OBS
 
-    jobs = max(1, args.jobs)
+    jobs = args.jobs
     if jobs > 1 and (args.trace or args.stats_out):
         print(
             "note: --trace/--stats-out need in-process counters; "
@@ -205,6 +219,17 @@ def _solve_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--prune", action="store_true", help="minimalize the result afterwards"
     )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "indexed", "bitset"),
+        help=(
+            "graph kernel for the solver's hot loops: 'auto' (default) "
+            "picks by algorithm and instance size, 'indexed' forces the "
+            "CSR arrays, 'bitset' the neighborhood bitmasks; results "
+            "are identical under every kernel"
+        ),
+    )
     parser.add_argument("--out", metavar="FILE", help="write the result as JSON")
     parser.add_argument(
         "--viz", action="store_true", help="print a terminal map of the backbone"
@@ -246,8 +271,19 @@ def _solve_main(argv: Sequence[str]) -> int:
         )
         points = kept
 
+    solver = solvers[args.algorithm]
+    solver_kwargs = {}
+    if "kernel" in inspect.signature(solver).parameters:
+        solver_kwargs["kernel"] = args.kernel
+    elif args.kernel != "auto":
+        print(
+            f"--kernel is not supported by algorithm {args.algorithm!r} "
+            "(only the kernelized solvers: waf, greedy)",
+            file=sys.stderr,
+        )
+        return 2
     with OBS.time("solve.total"):
-        result = solvers[args.algorithm](graph)
+        result = solver(graph, **solver_kwargs)
     if not result.is_valid(graph):
         print(f"{args.algorithm} produced an invalid CDS (bug)", file=sys.stderr)
         return 1

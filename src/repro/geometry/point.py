@@ -37,7 +37,7 @@ __all__ = [
 EPS: float = 1e-9
 
 
-@dataclass(frozen=True, slots=True, order=True)
+@dataclass(frozen=True)
 class Point:
     """An immutable point in the plane.
 
@@ -45,10 +45,74 @@ class Point:
     unary ``-``) because the paper's tightness constructions are most
     naturally expressed with reflections and translations
     (e.g. ``v2 = -v1`` in Figure 1).
+
+    Slotted (no per-instance ``__dict__``) and hash-cached: points are
+    the hot per-node object — a 10k-node deployment hashes every point
+    hundreds of times across UDG bucketing, graph interning and CDS
+    set algebra, so ``__hash__`` computes the (unchanged) field-tuple
+    hash once and memoizes it in a slot.  The lexicographic ordering is
+    likewise hand-written (same semantics ``dataclass(order=True)``
+    would generate, minus its two tuple allocations per comparison) —
+    value-sorting all nodes is on the solver hot path.
     """
+
+    __slots__ = ("x", "y", "_hashval")
 
     x: float
     y: float
+
+    def __hash__(self) -> int:
+        try:
+            return self._hashval
+        except AttributeError:
+            h = hash((self.x, self.y))
+            object.__setattr__(self, "_hashval", h)
+            return h
+
+    # -- lexicographic order (by (x, y), Points only) ----------------------
+
+    def __lt__(self, other: "Point") -> bool:
+        if other.__class__ is Point:
+            sx, ox = self.x, other.x
+            if sx != ox:
+                return sx < ox
+            return self.y < other.y
+        return NotImplemented
+
+    def __le__(self, other: "Point") -> bool:
+        if other.__class__ is Point:
+            sx, ox = self.x, other.x
+            if sx != ox:
+                return sx < ox
+            return self.y <= other.y
+        return NotImplemented
+
+    def __gt__(self, other: "Point") -> bool:
+        if other.__class__ is Point:
+            sx, ox = self.x, other.x
+            if sx != ox:
+                return sx > ox
+            return self.y > other.y
+        return NotImplemented
+
+    def __ge__(self, other: "Point") -> bool:
+        if other.__class__ is Point:
+            sx, ox = self.x, other.x
+            if sx != ox:
+                return sx > ox
+            return self.y >= other.y
+        return NotImplemented
+
+    # Manual __slots__ breaks default pickling of frozen instances
+    # (setstate would hit the frozen __setattr__); state is the fields
+    # only, so the cache is recomputed lazily after unpickling.
+
+    def __getstate__(self):
+        return (self.x, self.y)
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "x", state[0])
+        object.__setattr__(self, "y", state[1])
 
     # -- vector arithmetic -------------------------------------------------
 

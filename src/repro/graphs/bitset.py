@@ -1,0 +1,402 @@
+"""The bitset graph kernel: neighborhoods as Python big-int bitmasks.
+
+:class:`~repro.graphs.indexed.IndexedGraph` (PR 2) made neighborhood
+*iteration* cheap; the hot loops that remained — "does ``v`` have a
+selected neighbor?", "how many MIS nodes does ``u`` cover?", "which
+components is ``w`` adjacent to?" — are all *set operations over
+neighborhoods*, and a set over dense ids ``0..n-1`` is exactly one
+Python ``int`` used as a bitmask.  CPython evaluates ``&``/``|`` over
+those ints 64 bits per machine word in C, so a membership-heavy scan
+that costs ``O(deg)`` interpreted steps per node on the CSR kernel
+costs ``O(n/64)`` *word* operations on this one.
+
+:class:`BitsetGraph` layers per-node open/closed neighborhood masks on
+an :class:`IndexedGraph` (same dense ids, same node interning — the two
+views are interchangeable at every ``index=`` seam), and
+:class:`DominationTracker` maintains the one mask every coverage-style
+scan wants: the still-uncovered node set.  The module-level primitives
+(:func:`popcount`, :func:`bit_indices`, :func:`iter_bits`,
+:func:`mask_of`) are the shared vocabulary of every bitset hot path.
+
+Masks cost ``⌈n/8⌉`` bytes per node (≈1.25 KB at ``n = 10 000``, so
+≈12.5 MB per full mask set); :func:`choose_kernel` picks the
+representation per instance size — see ``docs/performance.md`` §large-n
+for the measured crossover.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Sequence, TypeVar
+
+from ..geometry.point import Point
+from ..obs import OBS
+from .graph import Graph
+from .indexed import IndexedGraph
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = [
+    "BITSET_AUTO_N",
+    "KERNELS",
+    "BitsetGraph",
+    "DominationTracker",
+    "bit_indices",
+    "build_kernel",
+    "choose_kernel",
+    "iter_bits",
+    "mask_of",
+    "popcount",
+    "value_sort_keys",
+]
+
+#: Node count at which ``kernel="auto"`` switches from the CSR kernel
+#: to the bitset kernel.  Below it the mask builds cost more than the
+#: word-parallel scans save (measured crossover is between the 150- and
+#: 1000-node fixtures; see ``docs/performance.md`` §large-n).
+BITSET_AUTO_N = 600
+
+#: Valid ``kernel=`` arguments, CLI ``--kernel`` choices included.
+KERNELS = ("auto", "indexed", "bitset")
+
+#: Bit positions set in each possible byte value — the lookup table
+#: behind :func:`bit_indices` / :func:`iter_bits`.
+_BYTE_BITS = tuple(
+    tuple(b for b in range(8) if byte >> b & 1) for byte in range(256)
+)
+
+
+def value_sort_keys(nodes: Sequence) -> Sequence:
+    """Comparison keys that order exactly as the nodes themselves do.
+
+    :class:`~repro.geometry.point.Point` is the ubiquitous node type
+    and its ordering *is* the lexicographic ``(x, y)`` order, so an
+    all-``Point`` sequence gets plain coordinate tuples — compared in C
+    — in place of ``O(n log n)`` interpreted ``__lt__`` calls when
+    sorting every node (the gain tracker's value ranking, the default
+    root choice).  Any other sequence is returned unchanged, keys being
+    the nodes themselves.
+    """
+    if all(type(p) is Point for p in nodes):
+        return [(p.x, p.y) for p in nodes]
+    return nodes
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (population count) of a non-negative mask."""
+    return mask.bit_count()
+
+
+def bit_indices(mask: int) -> list[int]:
+    """The set-bit positions of ``mask``, ascending, as a list.
+
+    Adaptive: sparse masks are drained lowest-set-bit first (``m & -m``
+    — a few big-int ops per set bit), dense ones byte-at-a-time over
+    the mask's little-endian bytes with a 256-entry lookup table
+    (``O(n/8)`` byte steps plus one step per set bit).  The crossover
+    sits around one set bit per three bytes of mask width.
+    """
+    if mask.bit_count() * 24 < mask.bit_length():
+        out = []
+        append = out.append
+        while mask:
+            lsb = mask & -mask
+            append(lsb.bit_length() - 1)
+            mask ^= lsb
+        return out
+    table = _BYTE_BITS
+    return [
+        (i << 3) + b
+        for i, byte in enumerate(
+            mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        )
+        if byte
+        for b in table[byte]
+    ]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask``, ascending.
+
+    The generator twin of :func:`bit_indices` for callers that may
+    stop early; hot loops that always consume everything should prefer
+    the list form.
+    """
+    table = _BYTE_BITS
+    for i, byte in enumerate(
+        mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+    ):
+        if byte:
+            base = i << 3
+            for b in table[byte]:
+                yield base + b
+
+
+def mask_of(ids: Sequence[int] | Iterator[int], nbits: int) -> int:
+    """The bitmask with exactly the given id bits set.
+
+    Builds through a ``bytearray`` so the cost is one byte write per id
+    plus a single ``int.from_bytes`` — no ``O(n/64)``-word big-int
+    shift per element.
+    """
+    row = bytearray((nbits + 7) >> 3)
+    for i in ids:
+        row[i >> 3] |= 1 << (i & 7)
+    return int.from_bytes(row, "little")
+
+
+def _masks_from_csr(n: int, indptr: list[int], indices: list[int]) -> list[int]:
+    """All ``n`` per-node neighborhood masks from CSR arrays, one pass.
+
+    Each row is ``sum(1 << u for u in row)`` — equal to the OR because
+    CSR rows are duplicate-free — computed as a C-level ``sum(map(...))``
+    over a power-of-two table, which beats both per-bit shifting and a
+    bytearray-then-``from_bytes`` assembly.  The table is local so the
+    ``O(n²/8)``-byte scratch is freed with the call.
+    """
+    pow2 = [1] * n
+    p = 1
+    for i in range(1, n):
+        p <<= 1
+        pow2[i] = p
+    get = pow2.__getitem__
+    return [
+        sum(map(get, indices[indptr[i] : indptr[i + 1]])) for i in range(n)
+    ]
+
+
+class BitsetGraph(Generic[N]):
+    """Neighborhood bitmasks layered on a CSR :class:`IndexedGraph`.
+
+    Shares the underlying view's dense ids and node interning, so the
+    two kernels are interchangeable wherever an ``index=`` argument is
+    accepted; algorithms pick whichever representation fits the scan.
+    Mask sets are built lazily (open and closed neighborhoods are
+    separate allocations of ``n·⌈n/8⌉`` bytes each) and cached.
+    """
+
+    __slots__ = ("indexed", "_neighbor_masks", "_closed_masks", "_row_cache")
+
+    def __init__(self, indexed: IndexedGraph[N]):
+        self.indexed = indexed
+        self._neighbor_masks: list[int] | None = None
+        self._closed_masks: list[int] | None = None
+        self._row_cache: dict[int, int] = {}
+
+    @classmethod
+    def from_indexed(cls, index: IndexedGraph[N]) -> "BitsetGraph[N]":
+        """Wrap an existing CSR view (masks are built on first use)."""
+        return cls(index)
+
+    @classmethod
+    def from_graph(cls, graph: Graph[N]) -> "BitsetGraph[N]":
+        return cls(IndexedGraph.from_graph(graph))
+
+    # -- mask sets ------------------------------------------------------------
+
+    @property
+    def neighbor_masks(self) -> list[int]:
+        """Open neighborhood masks: bit ``u`` of ``neighbor_masks[i]``
+        is set iff ``u`` is adjacent to ``i``."""
+        masks = self._neighbor_masks
+        if masks is None:
+            index = self.indexed
+            masks = _masks_from_csr(len(index), index.indptr, index.indices)
+            self._neighbor_masks = masks
+            if OBS.enabled:
+                OBS.incr("bitset.word_ops", len(index) * self.words)
+        return masks
+
+    @property
+    def closed_masks(self) -> list[int]:
+        """Closed neighborhood masks: ``neighbor_masks[i] | (1 << i)``."""
+        masks = self._closed_masks
+        if masks is None:
+            nbr = self.neighbor_masks
+            masks = [m | (1 << i) for i, m in enumerate(nbr)]
+            self._closed_masks = masks
+            if OBS.enabled:
+                OBS.incr("bitset.word_ops", len(nbr) * self.words)
+        return masks
+
+    @property
+    def full_mask(self) -> int:
+        """All node bits set: ``(1 << n) - 1``."""
+        return (1 << len(self.indexed)) - 1
+
+    @property
+    def words(self) -> int:
+        """Machine words per whole-graph mask (``⌈n/64⌉``) — the unit
+        the ``bitset.word_ops`` counter charges per mask operation."""
+        return (len(self.indexed) + 63) >> 6
+
+    # -- delegation to the CSR view -------------------------------------------
+
+    @property
+    def nodes(self) -> tuple:
+        return self.indexed.nodes
+
+    def id_of(self, node: N) -> int:
+        return self.indexed.id_of(node)
+
+    def node_at(self, i: int) -> N:
+        return self.indexed.node_at(i)
+
+    def __contains__(self, node: N) -> bool:
+        return node in self.indexed
+
+    def __len__(self) -> int:
+        return len(self.indexed)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.indexed)
+
+    def degree(self, i: int) -> int:
+        return self.indexed.degree(i)
+
+    def edge_count(self) -> int:
+        return self.indexed.edge_count()
+
+    # -- bitset queries -------------------------------------------------------
+
+    def neighbor_mask(self, i: int) -> int:
+        """The open neighborhood of ``i`` as a mask.
+
+        Served from the cached full mask set when built; otherwise the
+        single row is assembled from the CSR arrays in ``O(deg(i))``
+        and memoized, so callers that touch only some nodes (the MIS
+        scan covers ``|I|`` of ``n``, the WAF coverage scan
+        ``deg(root)``) never pay for the ``n``-row bulk build, and rows
+        are shared across phases — the gain tracker reuses the
+        dominator rows the MIS cover scan already built.
+        """
+        masks = self._neighbor_masks
+        if masks is not None:
+            return masks[i]
+        cache = self._row_cache
+        m = cache.get(i)
+        if m is None:
+            index = self.indexed
+            m = cache[i] = mask_of(index.neighbors(i), len(index))
+        return m
+
+    def closed_mask(self, i: int) -> int:
+        """The closed neighborhood ``N[i]`` as a mask (row-on-demand,
+        like :meth:`neighbor_mask`)."""
+        masks = self._closed_masks
+        if masks is not None:
+            return masks[i]
+        return self.neighbor_mask(i) | (1 << i)
+
+    def adjacency_count(self, i: int, mask: int) -> int:
+        """``|N(i) ∩ mask|`` — one AND plus a popcount."""
+        if OBS.enabled:
+            OBS.incr("bitset.word_ops", self.words)
+            OBS.incr("bitset.popcounts")
+        return (self.neighbor_mask(i) & mask).bit_count()
+
+    def __repr__(self) -> str:
+        return f"BitsetGraph(|V|={len(self)}, |E|={self.edge_count()})"
+
+
+class DominationTracker:
+    """The uncovered-node set of a growing dominating set, as one mask.
+
+    Every coverage-style scan in the two-phased framework asks the same
+    two questions — "is ``v`` still uncovered?" and "cover ``N[v]``" —
+    so the tracker keeps the uncovered set in both representations each
+    question wants: a bitmask for word-parallel covering (one
+    ``AND NOT`` with the closed neighborhood) and a flat byte array for
+    O(1) membership tests.  Total maintenance cost over a full run is
+    ``O(n)`` byte writes plus ``O(#covers · n/64)`` word operations,
+    because every node leaves the uncovered set exactly once.
+    """
+
+    __slots__ = ("_bitset", "_uncovered", "_flags")
+
+    def __init__(self, bitset: BitsetGraph, targets: int | None = None):
+        """Track coverage of ``targets`` (a mask; default: all nodes)."""
+        self._bitset = bitset
+        full = bitset.full_mask
+        self._uncovered = full if targets is None else (targets & full)
+        flags = bytearray(len(bitset))
+        for i in bit_indices(full & ~self._uncovered):
+            flags[i] = 1
+        self._flags = flags
+
+    @property
+    def uncovered_mask(self) -> int:
+        """The uncovered set as a bitmask."""
+        return self._uncovered
+
+    @property
+    def covered_flags(self) -> bytearray:
+        """Per-id covered bytes (1 = covered) — bind locally in scans;
+        treat as read-only."""
+        return self._flags
+
+    @property
+    def uncovered_count(self) -> int:
+        if OBS.enabled:
+            OBS.incr("bitset.popcounts")
+        return self._uncovered.bit_count()
+
+    @property
+    def all_covered(self) -> bool:
+        return not self._uncovered
+
+    def is_uncovered(self, i: int) -> bool:
+        return not self._flags[i]
+
+    def uncovered_ids(self) -> list[int]:
+        """Ids still uncovered, ascending."""
+        return bit_indices(self._uncovered)
+
+    def cover(self, i: int) -> int:
+        """Mark ``N[i]`` covered; returns how many nodes that newly covered."""
+        closed = self._bitset.closed_mask(i)
+        newly = self._uncovered & closed
+        if not newly:
+            return 0
+        self._uncovered &= ~closed
+        flags = self._flags
+        count = 0
+        while newly:
+            lsb = newly & -newly
+            flags[lsb.bit_length() - 1] = 1
+            newly ^= lsb
+            count += 1
+        if OBS.enabled:
+            OBS.incr("bitset.word_ops", 3 * self._bitset.words)
+            OBS.incr("bitset.popcounts")
+        return count
+
+
+def choose_kernel(n: int, kernel: str = "auto", auto_bitset: bool = True) -> str:
+    """Resolve a ``kernel=`` argument to ``"indexed"`` or ``"bitset"``.
+
+    ``"auto"`` picks the bitset kernel from :data:`BITSET_AUTO_N` nodes
+    up and the CSR kernel below it.  A solver whose hot loop does not
+    profit from masks at any size (WAF's coverage scan walks short CSR
+    rows faster than it popcounts ``⌈n/64⌉``-word masks at UDG-typical
+    degrees) passes ``auto_bitset=False`` to keep ``"auto"`` on the CSR
+    kernel; explicit kernel names are always honored.
+
+    Raises:
+        ValueError: on an unknown kernel name.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    if kernel == "auto":
+        return "bitset" if auto_bitset and n >= BITSET_AUTO_N else "indexed"
+    return kernel
+
+
+def build_kernel(
+    graph: Graph[N], kernel: str = "auto", auto_bitset: bool = True
+) -> IndexedGraph[N] | BitsetGraph[N]:
+    """Build the chosen kernel view of ``graph`` (one pass, shared by
+    every phase of a solver run)."""
+    index = IndexedGraph.from_graph(graph)
+    if choose_kernel(len(index), kernel, auto_bitset) == "bitset":
+        return BitsetGraph.from_indexed(index)
+    return index

@@ -24,6 +24,7 @@ does not update it.
 
 from __future__ import annotations
 
+from itertools import accumulate, chain
 from typing import Generic, Hashable, Iterator, TypeVar
 
 from .graph import Graph
@@ -58,17 +59,29 @@ class IndexedGraph(Generic[N]):
 
     @classmethod
     def from_graph(cls, graph: Graph[N]) -> "IndexedGraph[N]":
-        """Intern ``graph`` into a CSR view (``O(V + E)``, built once)."""
+        """Intern ``graph`` into a CSR view (``O(V + E)``, built once).
+
+        Neighbor ids are resolved through an ``id(object)`` map first:
+        builders that reuse node objects (every UDG builder does) then
+        intern each neighbor with one C-level identity lookup instead
+        of hashing the node value per adjacency entry.  A graph whose
+        adjacency holds equal-but-distinct objects falls back to the
+        equality-based map; the resulting view is identical.
+        """
         adj = graph._adj  # noqa: SLF001 - same-package fast path
         nodes = tuple(adj)
         ids = {node: i for i, node in enumerate(nodes)}
-        indptr = [0] * (len(nodes) + 1)
-        indices: list[int] = []
-        extend = indices.extend
-        get = ids.__getitem__
-        for i, node in enumerate(nodes):
-            extend(map(get, adj[node]))
-            indptr[i + 1] = len(indices)
+        by_identity = {id(node): i for i, node in enumerate(nodes)}
+        rows = adj.values()
+        indptr = [0, *accumulate(map(len, rows))]
+        get = by_identity.__getitem__
+        try:
+            indices = list(map(get, map(id, chain.from_iterable(rows))))
+        except KeyError:
+            # Some neighbor entry is an equal-but-distinct object; redo
+            # the whole scan through the equality map.
+            get = ids.__getitem__
+            indices = list(map(get, chain.from_iterable(rows)))
         return cls(nodes, ids, indptr, indices)
 
     # -- boundary translation -------------------------------------------------
@@ -153,8 +166,25 @@ class IndexedGraph(Generic[N]):
         return order, parent, depth
 
     def bfs_order(self, root: int) -> list[int]:
-        """Just the BFS visit order of ``root``'s component."""
-        return self.bfs(root)[0]
+        """Just the BFS visit order of ``root``'s component.
+
+        Same order as :meth:`bfs` without materializing the parent and
+        depth arrays — the visited check is one byte read.
+        """
+        indptr, indices = self._indptr, self._indices
+        seen = bytearray(len(self._nodes))
+        seen[root] = 1
+        order = [root]
+        append = order.append
+        head = 0
+        while head < len(order):
+            u = order[head]
+            head += 1
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if not seen[v]:
+                    seen[v] = 1
+                    append(v)
+        return order
 
     def connected_components(self) -> list[list[int]]:
         """Components as id lists, each in BFS order, in first-id order.

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence, TypeVar
 
+from ..graphs.bitset import BitsetGraph, DominationTracker, value_sort_keys
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
 from ..graphs.traversal import BFSTree, bfs_tree, dfs_tree
@@ -24,7 +25,12 @@ from ..obs import OBS, trace
 
 N = TypeVar("N", bound=Hashable)
 
-__all__ = ["FirstFitMIS", "first_fit_mis", "first_fit_mis_in_order"]
+__all__ = [
+    "FirstFitMIS",
+    "first_fit_mis",
+    "first_fit_mis_in_order",
+    "first_fit_mis_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -73,17 +79,13 @@ def first_fit_mis_in_order(graph: Graph[N], order: Sequence[N]) -> list[N]:
     return chosen
 
 
-def _first_fit_mis_indexed(index: IndexedGraph[N], root: N) -> FirstFitMIS:
-    """The BFS + first-fit pipeline on the CSR kernel.
+def _scan_indexed(index: IndexedGraph[N], order_ids: list[int]) -> list[int]:
+    """First-fit selection over ``order_ids`` on the CSR kernel.
 
     Bit-identical to the dict-based path (the kernel preserves
     iteration and adjacency order); the scan itself runs on flat
     integer arrays with a byte-mask membership test.
     """
-    nodes = index.nodes
-    order_ids, parent_ids, depth_ids = index.bfs(index.id_of(root))
-    if len(order_ids) != len(index):
-        raise ValueError("graph must be connected for the two-phased framework")
     indptr, indices = index.indptr, index.indices
     chosen_mask = bytearray(len(index))
     chosen_ids: list[int] = []
@@ -98,6 +100,99 @@ def _first_fit_mis_indexed(index: IndexedGraph[N], root: N) -> FirstFitMIS:
     if OBS.enabled:
         OBS.incr("mis.nodes_scanned", len(order_ids))
         OBS.incr("mis.selected", len(chosen_ids))
+    return chosen_ids
+
+
+def _scan_bitset(bitset: BitsetGraph[N], order_ids: list[int]) -> list[int]:
+    """First-fit selection over ``order_ids`` on the bitset kernel.
+
+    The scan runs on a :class:`DominationTracker`: a node is selectable
+    exactly when it is still uncovered — no chosen node has it in its
+    closed neighborhood — so the per-node test is one byte read and
+    each selection covers ``N[v]`` with one word-parallel ``AND NOT``.
+    Selects the same nodes as the CSR scan: "uncovered" and "no chosen
+    neighbor" coincide because coverage is via closed neighborhoods of
+    chosen nodes and a covered node is never chosen.
+    """
+    tracker = DominationTracker(bitset)
+    covered = tracker.covered_flags
+    cover = tracker.cover
+    chosen_ids: list[int] = []
+    append = chosen_ids.append
+    for v in order_ids:
+        if not covered[v]:
+            append(v)
+            cover(v)
+    if OBS.enabled:
+        OBS.incr("mis.nodes_scanned", len(order_ids))
+        OBS.incr("mis.selected", len(chosen_ids))
+    return chosen_ids
+
+
+def _bfs_scan_bitset(bitset: BitsetGraph[N], root: int) -> tuple[list[int], int]:
+    """Fused BFS + first-fit selection on the bitset kernel.
+
+    One pass instead of BFS-then-scan: when a node is dequeued, every
+    node earlier in BFS order has already been dequeued and had its
+    selection applied, so deciding "still uncovered?" at dequeue time
+    selects exactly the nodes the two-pass pipeline would.  Returns
+    ``(chosen_ids, visited_count)``; the caller checks connectivity.
+    """
+    csr = bitset.indexed
+    indptr, indices = csr.indptr, csr.indices
+    masks = bitset.neighbor_masks
+    n = len(csr)
+    uncovered = bitset.full_mask
+    covered = bytearray(n)
+    seen = bytearray(n)
+    seen[root] = 1
+    order = [root]
+    append = order.append
+    chosen_ids: list[int] = []
+    choose = chosen_ids.append
+    head = 0
+    while head < len(order):
+        v = order[head]
+        head += 1
+        if not covered[v]:
+            choose(v)
+            # Inline DominationTracker.cover: flag exactly the newly
+            # covered ids (each node is drained once over the run).
+            newly = uncovered & (masks[v] | (1 << v))
+            uncovered &= ~newly
+            while newly:
+                lsb = newly & -newly
+                covered[lsb.bit_length() - 1] = 1
+                newly ^= lsb
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            if not seen[u]:
+                seen[u] = 1
+                append(u)
+    if OBS.enabled:
+        OBS.incr("mis.nodes_scanned", len(order))
+        OBS.incr("mis.selected", len(chosen_ids))
+        OBS.incr("bitset.word_ops", len(chosen_ids) * bitset.words * 3)
+    return chosen_ids, len(order)
+
+
+def _first_fit_mis_kernel(
+    index: IndexedGraph[N] | BitsetGraph[N], root: N
+) -> FirstFitMIS:
+    """The BFS + first-fit pipeline on either kernel, tree included.
+
+    The BFS itself always runs on the CSR arrays (a frontier-OR bitset
+    BFS would visit neighbors in ascending-id order, not adjacency
+    insertion order, breaking bit-identity).
+    """
+    csr = index.indexed if isinstance(index, BitsetGraph) else index
+    nodes = csr.nodes
+    order_ids, parent_ids, depth_ids = csr.bfs(csr.id_of(root))
+    if len(order_ids) != len(csr):
+        raise ValueError("graph must be connected for the two-phased framework")
+    if isinstance(index, BitsetGraph):
+        chosen_ids = _scan_bitset(index, order_ids)
+    else:
+        chosen_ids = _scan_indexed(csr, order_ids)
     tree = BFSTree(
         root=root,
         order=tuple(nodes[v] for v in order_ids),
@@ -107,12 +202,66 @@ def _first_fit_mis_indexed(index: IndexedGraph[N], root: N) -> FirstFitMIS:
     return FirstFitMIS(nodes=tuple(nodes[v] for v in chosen_ids), tree=tree)
 
 
+def first_fit_mis_nodes(
+    graph: Graph[N],
+    root: N | None = None,
+    *,
+    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
+) -> tuple:
+    """The phase-1 dominator tuple alone — no spanning-tree assembly.
+
+    Selects exactly :func:`first_fit_mis`'s BFS-order MIS (same root
+    defaulting, same counters) but skips materializing the
+    :class:`~repro.graphs.traversal.BFSTree` parent/depth maps, which
+    solvers that never read tree parents — the Section IV greedy —
+    otherwise pay for at every node of the graph.
+
+    Raises:
+        ValueError: if the graph is empty or not connected.
+    """
+    if len(graph) == 0:
+        raise ValueError("first_fit_mis requires a non-empty graph")
+    if root is None:
+        root = _smallest_node(graph)
+    with trace("mis.first_fit"):
+        if index is None:
+            tree = bfs_tree(graph, root)
+            if len(tree.order) != len(graph):
+                raise ValueError(
+                    "graph must be connected for the two-phased framework"
+                )
+            return tuple(first_fit_mis_in_order(graph, tree.order))
+        if isinstance(index, BitsetGraph):
+            csr = index.indexed
+            chosen_ids, visited = _bfs_scan_bitset(index, csr.id_of(root))
+        else:
+            csr = index
+            order_ids = csr.bfs_order(csr.id_of(root))
+            visited = len(order_ids)
+            chosen_ids = _scan_indexed(csr, order_ids)
+        if visited != len(csr):
+            raise ValueError(
+                "graph must be connected for the two-phased framework"
+            )
+        nodes = csr.nodes
+        return tuple(nodes[v] for v in chosen_ids)
+
+
+def _smallest_node(graph: Graph[N]) -> N:
+    """The deterministic default root: the smallest node by value."""
+    nodes = graph.nodes()
+    keys = value_sort_keys(nodes)
+    if keys is nodes:
+        return min(nodes)
+    return nodes[min(range(len(nodes)), key=keys.__getitem__)]
+
+
 def first_fit_mis(
     graph: Graph[N],
     root: N | None = None,
     tree_kind: str = "bfs",
     *,
-    index: IndexedGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
 ) -> FirstFitMIS:
     """Tree-order first-fit MIS of a connected graph.
 
@@ -130,12 +279,14 @@ def first_fit_mis(
     connector correctness argument needs.
 
     ``index`` optionally supplies a prebuilt
-    :class:`~repro.graphs.indexed.IndexedGraph` view of ``graph``; the
-    BFS and first-fit scan then run on its flat arrays (bit-identical
-    selection, cheaper per step).  Callers that run several phases on
-    one topology build the view once and thread it through — building
-    it costs as much as one BFS, so a one-shot caller gains nothing.
-    The view must describe ``graph``; it is ignored for ``"dfs"``.
+    :class:`~repro.graphs.indexed.IndexedGraph` or
+    :class:`~repro.graphs.bitset.BitsetGraph` view of ``graph``; the
+    BFS and first-fit scan then run on its flat arrays or neighborhood
+    masks (bit-identical selection, cheaper per step).  Callers that
+    run several phases on one topology build the view once and thread
+    it through — building it costs as much as one BFS, so a one-shot
+    caller gains nothing.  The view must describe ``graph``; it is
+    ignored for ``"dfs"``.
 
     Raises:
         ValueError: if the graph is empty or not connected (the
@@ -147,10 +298,10 @@ def first_fit_mis(
     if tree_kind not in ("bfs", "dfs"):
         raise ValueError(f"unknown tree_kind {tree_kind!r}")
     if root is None:
-        root = min(graph.nodes())
+        root = _smallest_node(graph)
     with trace("mis.first_fit"):
         if index is not None and tree_kind == "bfs":
-            return _first_fit_mis_indexed(index, root)
+            return _first_fit_mis_kernel(index, root)
         builder = bfs_tree if tree_kind == "bfs" else dfs_tree
         tree = builder(graph, root)
         if len(tree.order) != len(graph):

@@ -54,6 +54,52 @@ class TestPointArithmetic:
             p.x = 3  # type: ignore[misc]
 
 
+class TestPointMemoryLayout:
+    """``__slots__`` regression guard: Points are allocated by the
+    million in UDG deployments, so the layout (no per-instance
+    ``__dict__``, cached hash) must not silently regress."""
+
+    def test_no_instance_dict(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.__dict__  # noqa: B018
+
+    def test_unknown_attribute_rejected(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.z = 3  # type: ignore[attr-defined]
+
+    def test_hash_equals_value_hash(self):
+        # Equal points (even fresh instances) must collide exactly.
+        assert hash(Point(1.5, -2.0)) == hash(Point(1.5, -2.0))
+
+    def test_hash_stable_across_reads(self):
+        p = Point(0.1, 0.2)
+        assert hash(p) == hash(p)
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        p = Point(3.25, -1.5)
+        q = pickle.loads(pickle.dumps(p))
+        assert q == p
+        assert hash(q) == hash(p)
+        assert q.distance_to(Point(3.25, 0.5)) == 2.0
+
+    def test_deepcopy_roundtrip(self):
+        import copy
+
+        p = Point(1.0, 2.0)
+        q = copy.deepcopy(p)
+        assert q == p and hash(q) == hash(p)
+
+    def test_equality_and_order_semantics_preserved(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert Point(1, 2) != Point(2, 1)
+        assert Point(1, 2) <= Point(1, 2) < Point(1, 3)
+        assert Point(2, 0) > Point(1, 9) >= Point(1, 9)
+
+
 class TestPointMetrics:
     def test_dot(self):
         assert Point(1, 2).dot(Point(3, 4)) == 11

@@ -8,6 +8,7 @@ from repro.graphs import (
     is_maximal_independent_set,
 )
 from repro.mis import FirstFitMIS, first_fit_mis, first_fit_mis_in_order
+from repro.mis.first_fit import first_fit_mis_nodes
 
 
 class TestFirstFitInOrder:
@@ -81,3 +82,39 @@ class TestFirstFitMIS:
     def test_deterministic(self, small_udg):
         _, g = small_udg
         assert first_fit_mis(g).nodes == first_fit_mis(g).nodes
+
+
+class TestFirstFitMisNodes:
+    """The kernelized fast path must match ``first_fit_mis().nodes``."""
+
+    def test_matches_full_result(self, udg_suite):
+        for _, g in udg_suite:
+            assert first_fit_mis_nodes(g) == first_fit_mis(g).nodes
+
+    def test_matches_with_prebuilt_kernels(self, udg_suite):
+        from repro.graphs import IndexedGraph
+        from repro.graphs.bitset import BitsetGraph
+
+        for _, g in udg_suite:
+            reference = first_fit_mis(g).nodes
+            index = IndexedGraph.from_graph(g)
+            assert first_fit_mis_nodes(g, index=index) == reference
+            bitset = BitsetGraph.from_indexed(index)
+            assert first_fit_mis_nodes(g, index=bitset) == reference
+
+    def test_root_forwarded(self, small_udg):
+        _, g = small_udg
+        root = max(g.nodes())
+        assert first_fit_mis_nodes(g, root=root) == first_fit_mis(g, root=root).nodes
+
+    def test_root_always_first(self, path5):
+        assert first_fit_mis_nodes(path5, root=2)[0] == 2
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            first_fit_mis_nodes(Graph())
+
+    def test_disconnected_raises(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        with pytest.raises(ValueError):
+            first_fit_mis_nodes(g)

@@ -75,6 +75,75 @@ class TestSolve:
             main(["solve", deployment, "--algorithm", "magic"])
 
 
+class TestKernelFlag:
+    @pytest.mark.parametrize("kernel", ["auto", "indexed", "bitset"])
+    def test_kernel_accepted_for_greedy(self, deployment, kernel, capsys):
+        assert main(["solve", deployment, "--kernel", kernel]) == 0
+        assert "backbone size" in capsys.readouterr().out
+
+    def test_kernels_solve_identically(self, deployment, tmp_path):
+        sizes = {}
+        for kernel in ("indexed", "bitset"):
+            out_file = tmp_path / f"{kernel}.json"
+            assert main(
+                ["solve", deployment, "--kernel", kernel, "--out", str(out_file)]
+            ) == 0
+            result = load_result(out_file)
+            sizes[kernel] = (result.size, sorted(map(str, result.nodes)))
+        assert sizes["indexed"] == sizes["bitset"]
+
+    def test_kernel_accepted_for_waf(self, deployment, capsys):
+        assert (
+            main(
+                ["solve", deployment, "--algorithm", "waf", "--kernel", "bitset"]
+            )
+            == 0
+        )
+
+    def test_unknown_kernel_rejected(self, deployment):
+        with pytest.raises(SystemExit):
+            main(["solve", deployment, "--kernel", "numpy"])
+
+    def test_kernel_rejected_for_unkernelized_solver(self, deployment, capsys):
+        code = main(
+            ["solve", deployment, "--algorithm", "steiner", "--kernel", "bitset"]
+        )
+        assert code == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_auto_kernel_fine_for_unkernelized_solver(self, deployment):
+        assert main(["solve", deployment, "--algorithm", "steiner"]) == 0
+
+
+class TestJobsValidation:
+    def test_zero_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--all", "--jobs", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["T8", "--jobs", "-3"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["T8", "--jobs", "many"])
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_bench_script_rejects_bad_jobs(self, capsys):
+        import sys
+
+        sys.path.insert(0, "benchmarks")
+        try:
+            import bench_to_json
+        finally:
+            sys.path.pop(0)
+        with pytest.raises(SystemExit):
+            bench_to_json.main(["--jobs", "0", "-o", "/tmp/never.json"])
+        assert "positive integer" in capsys.readouterr().err
+
+
 class TestSolveStats:
     def test_stats_out_writes_valid_record(self, deployment, tmp_path, capsys):
         from repro.obs import validate_run_record
