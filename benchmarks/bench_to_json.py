@@ -8,7 +8,9 @@ bitset kernels pinned separately for the kernelized ones — captures one
 instrumented run's counters per case, and writes everything as JSON —
 the files (``BENCH_baseline.json`` from PR 1, ``BENCH_pr2.json`` after
 the indexed-kernel/lazy-greedy PR, ``BENCH_pr3.json`` after the bitset
-kernel) that optimisation PRs compare against.
+kernel) that optimisation PRs compare against.  Read a series of them
+with ``python -m repro bench compare`` (``repro.obs.trend``), which is
+also the CI perf-regression gate.
 
 Timing runs are executed with instrumentation *disabled* so the
 baseline measures the algorithms, not the bookkeeping; a separate
@@ -43,8 +45,7 @@ from repro.graphs.bitset import build_kernel
 from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
 from repro.mis.first_fit import first_fit_mis_nodes
 from repro.obs import OBS, RunRecord
-
-SCHEMA_ID = "repro.obs/bench-baseline/v1"
+from repro.obs.trend import BENCH_SCHEMA_ID as SCHEMA_ID
 
 #: The shared fixtures of ``benchmarks/conftest.py`` plus the
 #: large-instance scaling tier: name -> (n, side, seed).  The tiers

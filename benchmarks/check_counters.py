@@ -9,6 +9,11 @@ byte-for-byte: an algorithmic regression (more gain evaluations for
 the same instance) fails the build even when wall-clock noise would
 hide it, and a timing-only change cannot trip it.
 
+Since the trend observatory landed this script is a **thin wrapper**
+over :func:`repro.obs.trend.counter_drift` — the one counter-
+equivalence implementation, shared with ``python -m repro bench
+compare`` and the CI ``perf-gate`` job.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_to_json.py \\
@@ -28,6 +33,11 @@ import json
 import sys
 from pathlib import Path
 
+# Runnable without PYTHONPATH (the CI job calls it bare).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.trend import counter_drift  # noqa: E402
+
 EXPECTED_PATH = Path(__file__).resolve().parent / "expected_counters.json"
 
 #: Counter/result keys that must be deterministic per fixture.  Timers
@@ -44,13 +54,26 @@ def extract(bench: dict) -> dict:
 
 
 def compare(expected: dict, actual: dict) -> list[str]:
-    """Human-readable mismatch lines; empty means pass."""
+    """Human-readable mismatch lines; empty means pass.
+
+    Counter equivalence delegates to ``repro.obs.trend.counter_drift``
+    with a zero budget; ``results``/``seed`` stay plain equality.
+    """
     problems = []
     for name in sorted(expected):
         if name not in actual:
             problems.append(f"{name}: missing from the generated bench")
             continue
-        for key in DETERMINISTIC_KEYS:
+        drifted = counter_drift(
+            expected[name]["counters"], actual[name]["counters"]
+        )
+        for counter, (old, new) in drifted.items():
+            problems.append(
+                f"{name}: counter {counter!r} drifted\n"
+                f"  expected: {old:g}\n"
+                f"  actual:   {new:g}"
+            )
+        for key in ("results", "seed"):
             if expected[name][key] != actual[name][key]:
                 problems.append(
                     f"{name}: {key} mismatch\n"

@@ -17,13 +17,30 @@ Two modes:
       python -m repro solve deploy.csv --algorithm waf --prune \
           --out backbone.json
 
-Both modes accept ``--trace`` (print the instrumentation report after
-the run) and ``--stats-out FILE`` (write a schema-checked
-:class:`repro.obs.RunRecord` JSON — see ``docs/observability.md``)::
+Both modes accept the observability flags (see
+``docs/observability.md``):
 
-      python -m repro T8 --stats-out rec.json
+* ``--trace`` — print the counter/timer report after the run;
+* ``--stats-out FILE`` — write a schema-checked
+  :class:`repro.obs.RunRecord` JSON;
+* ``--events-out FILE`` — write the ``repro.obs/event/v1`` JSONL span
+  log (under ``--jobs N`` the per-worker logs are merged
+  deterministically);
+* ``--mem-trace`` — per-span peak memory via ``tracemalloc``
+  (``mem.*`` counters in the record/report);
+* ``--profile-out FILE`` — cProfile the run and write pstats.
+
+::
+
+      python -m repro T8 --stats-out rec.json --events-out t8.jsonl
+      python -m repro --all --jobs 4 --stats-out rec.json
       python -m repro solve deploy.csv --algorithm greedy --trace \
-          --stats-out rec.json
+          --mem-trace --profile-out solve.pstats
+
+A third mode, **bench**, compares committed benchmark snapshots and
+gates on regressions (see ``docs/performance.md`` §7)::
+
+      python -m repro bench compare BENCH_baseline.json BENCH_pr3.json
 """
 
 from __future__ import annotations
@@ -68,7 +85,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] == "solve":
         return _solve_main(args[1:])
+    if args and args[0] == "bench":
+        return _bench_main(args[1:])
     return _experiments_main(args)
+
+
+def _bench_main(argv: Sequence[str]) -> int:
+    """``python -m repro bench compare A.json B.json [...]``."""
+    if not argv or argv[0] != "compare":
+        print(
+            "usage: python -m repro bench compare BENCH_A.json BENCH_B.json "
+            "[...] [--threshold PCT] [--no-time-gate] [--out FILE]",
+            file=sys.stderr,
+        )
+        return 2
+    from .obs.trend import main as trend_main
+
+    return trend_main(argv[1:])
 
 
 def _experiments_main(argv: Sequence[str]) -> int:
@@ -96,8 +129,9 @@ def _experiments_main(argv: Sequence[str]) -> int:
         metavar="N",
         help=(
             "run experiments across N worker processes (output order and "
-            "content are identical to a serial run; forced to 1 when "
-            "--trace/--stats-out need a merged instrumentation report)"
+            "content are identical to a serial run; --trace/--stats-out/"
+            "--events-out merge the per-worker instrumentation "
+            "deterministically)"
         ),
     )
     _add_obs_flags(parser)
@@ -112,39 +146,59 @@ def _experiments_main(argv: Sequence[str]) -> int:
     from .obs import OBS
 
     jobs = args.jobs
-    if jobs > 1 and (args.trace or args.stats_out):
-        print(
-            "note: --trace/--stats-out need in-process counters; "
-            "running with --jobs 1",
-            file=sys.stderr,
-        )
-        jobs = 1
-
-    if args.trace or args.stats_out:
-        OBS.reset()
-        OBS.enable()
-
+    session = _ObsSession(args)
     ids = sorted(registry) if args.all else args.experiments
     failed: list[str] = []
     ran: list[str] = []
     if jobs > 1:
+        # Workers capture their own registries; the parent merges them
+        # (counters sum; timers merge total/count/max) so the report,
+        # the RunRecord and the event log cover every experiment.
+        # Per-span *nesting* under workers comes from the merged event
+        # log (--events-out), not from the merged timers — a merged
+        # timer keeps totals, not parent/child structure.
         from .experiments.parallel import run_experiments_parallel
 
+        session.start(enable_hooks=False)
         try:
-            results = run_experiments_parallel(ids, jobs=jobs)
+            with session.profiled():
+                outcomes = run_experiments_parallel(
+                    ids,
+                    jobs=jobs,
+                    collect_obs=session.wanted,
+                    collect_events=bool(args.events_out),
+                    mem_trace=args.mem_trace,
+                )
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
+        if session.wanted:
+            results = []
+            worker_logs = []
+            for result, state, events in outcomes:
+                results.append(result)
+                OBS.merge_state(state)
+                if events is not None:
+                    worker_logs.append(events)
+            if worker_logs:
+                from .obs.events import merge_events
+
+                session.merged_events = merge_events(worker_logs)
+        else:
+            results = outcomes
     else:
+        session.start()
         results = []
-        for experiment_id in ids:
-            try:
-                fn = get_experiment(experiment_id)
-            except KeyError as exc:
-                print(exc, file=sys.stderr)
-                return 2
-            with OBS.time(f"experiment.{fn.experiment_id}"):
-                results.append(fn())
+        with session.profiled():
+            for experiment_id in ids:
+                try:
+                    fn = get_experiment(experiment_id)
+                except KeyError as exc:
+                    print(exc, file=sys.stderr)
+                    return 2
+                with OBS.time(f"experiment.{fn.experiment_id}"):
+                    results.append(fn())
+        session.stop_hooks()
     for result in results:
         ran.append(result.experiment_id)
         print(result.render())
@@ -155,6 +209,7 @@ def _experiments_main(argv: Sequence[str]) -> int:
             failed.append(result.experiment_id)
     _emit_obs(
         args,
+        session,
         algorithm="experiments" if len(ran) != 1 else f"experiment:{ran[0]}",
         instance={"experiments": ran},
         results={"ran": len(ran), "failed": failed},
@@ -177,12 +232,105 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write a repro.obs RunRecord (JSON) describing this run",
     )
+    parser.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help=(
+            "write the structured span log (repro.obs/event/v1 JSONL): "
+            "nested begin/end events with timestamps and counter deltas"
+        ),
+    )
+    parser.add_argument(
+        "--mem-trace",
+        action="store_true",
+        help=(
+            "track per-span peak memory via tracemalloc; mem.* counters "
+            "appear in the --trace report and the RunRecord"
+        ),
+    )
+    parser.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="cProfile the run and write pstats to FILE (e.g. run.pstats)",
+    )
 
 
-def _emit_obs(args, *, algorithm: str, instance: dict, results: dict,
-              seed: int | None = None) -> None:
-    """Print the ``--trace`` report and/or write the ``--stats-out`` record."""
-    if not (args.trace or args.stats_out):
+class _ObsSession:
+    """Per-invocation observability state: hooks, events, profiler.
+
+    Ties the opt-in flags to the shared ``OBS`` registry for exactly
+    one CLI run: ``start()`` enables the registry and attaches the
+    event log / memory tracker (serial mode), ``profiled()`` wraps the
+    run in cProfile when asked, and ``_emit_obs`` drains everything.
+    In parallel mode hooks run inside the workers instead
+    (``enable_hooks=False``) and the merged event stream is assigned to
+    :attr:`merged_events` by the caller.
+    """
+
+    def __init__(self, args):
+        self.args = args
+        self.wanted = bool(
+            args.trace or args.stats_out or args.events_out or args.mem_trace
+        )
+        self.event_log = None
+        self.merged_events = None
+        self._mem_cm = None
+
+    def start(self, enable_hooks: bool = True) -> None:
+        if not self.wanted:
+            return
+        from .obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        if not enable_hooks:
+            return
+        if self.args.events_out:
+            from .obs.events import EventLog
+
+            self.event_log = EventLog(OBS)
+            OBS.add_hook(self.event_log)
+        if self.args.mem_trace:
+            from .obs.profile import mem_tracing
+
+            self._mem_cm = mem_tracing(OBS)
+            self._mem_cm.__enter__()
+
+    def stop_hooks(self) -> None:
+        """Detach hooks (before reporting, so the drain itself is quiet)."""
+        from .obs import OBS
+
+        if self._mem_cm is not None:
+            self._mem_cm.__exit__(None, None, None)
+            self._mem_cm = None
+        if self.event_log is not None:
+            OBS.remove_hook(self.event_log)
+
+    def profiled(self):
+        """Context manager for the run body: cProfile when requested."""
+        if self.args.profile_out:
+            from .obs.profile import profile_to
+
+            return profile_to(self.args.profile_out)
+        from contextlib import nullcontext
+
+        return nullcontext()
+
+    @property
+    def events(self) -> list | None:
+        if self.merged_events is not None:
+            return self.merged_events
+        if self.event_log is not None:
+            return self.event_log.events
+        return None
+
+
+def _emit_obs(args, session: _ObsSession, *, algorithm: str, instance: dict,
+              results: dict, seed: int | None = None) -> None:
+    """Drain the session: report, RunRecord, event log, profile note."""
+    if args.profile_out:
+        print(f"profile written to {args.profile_out}")
+    if not session.wanted:
         return
     from . import __version__
     from .obs import OBS, RunRecord, render_report
@@ -200,6 +348,11 @@ def _emit_obs(args, *, algorithm: str, instance: dict, results: dict,
         )
         record.write(args.stats_out)
         print(f"run record written to {args.stats_out}")
+    if args.events_out and session.events is not None:
+        from .obs.events import write_events
+
+        write_events(session.events, args.events_out)
+        print(f"event log written to {args.events_out}")
     OBS.disable()
 
 
@@ -250,9 +403,8 @@ def _solve_main(argv: Sequence[str]) -> int:
     from .io import load_points, save_result
     from .obs import OBS
 
-    if args.trace or args.stats_out:
-        OBS.reset()
-        OBS.enable()
+    session = _ObsSession(args)
+    session.start()
 
     try:
         points = load_points(args.deployment)
@@ -282,7 +434,7 @@ def _solve_main(argv: Sequence[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    with OBS.time("solve.total"):
+    with session.profiled(), OBS.time("solve.total"):
         result = solver(graph, **solver_kwargs)
     if not result.is_valid(graph):
         print(f"{args.algorithm} produced an invalid CDS (bug)", file=sys.stderr)
@@ -307,8 +459,10 @@ def _solve_main(argv: Sequence[str]) -> int:
     if args.out:
         save_result(result, args.out)
         print(f"result written to {args.out}")
+    session.stop_hooks()
     _emit_obs(
         args,
+        session,
         algorithm=result.algorithm,
         instance={
             "source": args.deployment,

@@ -13,11 +13,14 @@ serial loop:
 * **Determinism per cell.**  Workers receive the cell parameters and
   regenerate the instance from its seed inside the child process —
   nothing depends on which worker runs which cell.
-* **Instrumentation stays per-cell.**  The :data:`repro.obs.OBS`
-  registry is process-local; a child's counters never reach the
-  parent.  Workers that want counts capture them *inside* the cell
-  (see :func:`solve_cell`, which returns them in its result dict)
-  rather than relying on ambient registry state.
+* **Instrumentation is captured in the child, merged in the parent.**
+  The :data:`repro.obs.OBS` registry is process-local; a child's
+  counters never reach the parent by themselves.  Workers that want
+  counts capture them *inside* the cell (see :func:`solve_cell`, which
+  returns them in its result dict) or export the whole registry state
+  (see :func:`run_experiments_parallel` with ``collect_obs=True``,
+  which the CLI merges deterministically so ``--trace``/``--stats-out``
+  work at any ``--jobs``).
 
 Workers must be defined at module level (``multiprocessing`` pickles
 them by reference); :func:`functools.partial` over a module-level
@@ -160,16 +163,79 @@ def _run_experiment_worker(experiment_id: str) -> ExperimentResult:
     return get_experiment(experiment_id)()
 
 
+def _run_experiment_worker_obs(
+    task: tuple[str, int, bool, bool],
+) -> tuple[ExperimentResult, dict, list | None]:
+    """Instrumented worker: run one experiment under a captured registry.
+
+    Returns ``(result, registry_state, events)`` — all picklable, so
+    the parent can merge every worker's counters/timers with
+    :meth:`Registry.merge_state` and interleave the per-worker event
+    logs with :func:`repro.obs.events.merge_events`.  The worker index
+    is the experiment's position in the input list, which keeps run ids
+    and the merged event order deterministic.
+    """
+    experiment_id, worker_index, collect_events, mem_trace = task
+    from contextlib import nullcontext
+
+    from ..obs import OBS
+
+    fn = get_experiment(experiment_id)
+    with OBS.capture() as reg:
+        log = None
+        if collect_events:
+            from ..obs.events import EventLog
+
+            log = EventLog(reg, run_id=f"worker-{worker_index}", worker=worker_index)
+            reg.add_hook(log)
+        if mem_trace:
+            from ..obs.profile import mem_tracing
+
+            mem = mem_tracing(reg)
+        else:
+            mem = nullcontext()
+        try:
+            with mem, reg.time(f"experiment.{experiment_id}"):
+                result = fn()
+        finally:
+            if log is not None:
+                reg.remove_hook(log)
+        state = reg.export_state()
+    return result, state, (log.events if log is not None else None)
+
+
 def run_experiments_parallel(
-    experiment_ids: Sequence[str], jobs: int = 1
-) -> list[ExperimentResult]:
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    *,
+    collect_obs: bool = False,
+    collect_events: bool = False,
+    mem_trace: bool = False,
+) -> list:
     """Run registered experiments, possibly across processes.
 
     Ids are resolved (and canonicalised) up front so an unknown id
     raises ``KeyError`` before any process is forked; results come back
-    in the order the ids were given.  Experiment timers/counters stay in
-    the child processes — run with ``jobs=1`` when a merged
-    instrumentation report (``--trace`` / ``--stats-out``) is wanted.
+    in the order the ids were given.
+
+    With ``collect_obs=False`` (the default) the return value is a
+    plain ``list[ExperimentResult]`` and instrumentation stays in the
+    child processes.  With ``collect_obs=True`` each element is a
+    ``(result, registry_state, events)`` triple: the per-worker
+    :data:`repro.obs.OBS` registry is captured around the run and
+    exported, which is how ``--trace``/``--stats-out`` work under
+    ``--jobs N`` — the CLI merges the states into its own registry
+    (counters sum; timers merge total/count/max).  ``collect_events``
+    additionally records each worker's ``repro.obs/event/v1`` log;
+    per-span *nesting* across workers is reconstructed from the merged
+    event log, not from the merged timers (a merged timer has no
+    parent/child structure).
     """
     canonical = [get_experiment(eid).experiment_id for eid in experiment_ids]
-    return parallel_map(_run_experiment_worker, canonical, jobs)
+    if not collect_obs:
+        return parallel_map(_run_experiment_worker, canonical, jobs)
+    tasks = [
+        (eid, index, collect_events, mem_trace)
+        for index, eid in enumerate(canonical)
+    ]
+    return parallel_map(_run_experiment_worker_obs, tasks, jobs)

@@ -16,7 +16,7 @@ experiment harness all report here; ``python -m repro ... --trace`` /
 the front ends.  See ``docs/observability.md``.
 """
 
-from .core import OBS, Counter, Registry, Span, Timer, trace, traced
+from .core import OBS, Counter, Registry, Span, SpanHook, Timer, trace, traced
 from .record import (
     RUN_RECORD_SCHEMA,
     SCHEMA_ID,
@@ -25,13 +25,41 @@ from .record import (
     records_to_csv,
     validate_run_record,
 )
-# Lazy so ``python -m repro.obs.report`` does not re-import the module
-# it is about to execute (runpy's double-import RuntimeWarning).
-def __getattr__(name):
-    if name in ("render_record", "render_report"):
-        from . import report
+# Lazy so ``python -m repro.obs.report`` (and the other runnable
+# submodules) do not re-import the module they are about to execute
+# (runpy's double-import RuntimeWarning), and so the cheap core import
+# never pays for tracemalloc/cProfile/trend machinery it may not use.
+_LAZY = {
+    "render_record": "report",
+    "render_report": "report",
+    "EVENT_SCHEMA_ID": "events",
+    "EventLog": "events",
+    "SpanNode": "events",
+    "merge_events": "events",
+    "parse_events": "events",
+    "read_events": "events",
+    "replay": "events",
+    "validate_events": "events",
+    "write_events": "events",
+    "MemTracker": "profile",
+    "mem_tracing": "profile",
+    "profile_to": "profile",
+    "BENCH_SCHEMA_ID": "trend",
+    "BenchSnapshot": "trend",
+    "compare_snapshots": "trend",
+    "counter_drift": "trend",
+    "load_snapshot": "trend",
+    "render_trend_report": "trend",
+}
 
-        return getattr(report, name)
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -40,6 +68,7 @@ __all__ = [
     "Counter",
     "Registry",
     "Span",
+    "SpanHook",
     "Timer",
     "trace",
     "traced",
@@ -49,6 +78,5 @@ __all__ = [
     "assert_valid_run_record",
     "records_to_csv",
     "validate_run_record",
-    "render_record",
-    "render_report",
+    *sorted(_LAZY),
 ]

@@ -33,6 +33,7 @@ __all__ = [
     "Counter",
     "Timer",
     "Span",
+    "SpanHook",
     "Registry",
     "OBS",
     "trace",
@@ -62,22 +63,27 @@ class Timer:
     """A named accumulator of elapsed wall-clock seconds.
 
     ``total`` sums every recorded span, ``count`` is how many spans were
-    recorded, and ``last`` is the most recent span's duration — enough
-    to derive a mean without storing each sample.
+    recorded, ``last`` is the most recent span's duration and ``max``
+    the longest one — enough to derive a mean without storing each
+    sample, and enough to merge per-worker timers losslessly
+    (total/count/max all combine associatively).
     """
 
-    __slots__ = ("name", "total", "count", "last")
+    __slots__ = ("name", "total", "count", "last", "max")
 
     def __init__(self, name: str):
         self.name = name
         self.total = 0.0
         self.count = 0
         self.last = 0.0
+        self.max = 0.0
 
     def record(self, seconds: float) -> None:
         self.total += seconds
         self.count += 1
         self.last = seconds
+        if seconds > self.max:
+            self.max = seconds
 
     @property
     def mean(self) -> float:
@@ -118,6 +124,55 @@ class Span:
 _NULL_SPAN = Span(None)
 
 
+class SpanHook:
+    """Observer of span begin/end on a :class:`Registry`.
+
+    Hooks are how the event stream (:mod:`repro.obs.events`) and the
+    memory tracker (:mod:`repro.obs.profile`) see every existing
+    ``trace()``/``@traced`` site without any new call sites in the
+    instrumented code: :meth:`Registry.time` hands out a hooked span
+    whenever hooks are attached.  Hooks only ever run while the
+    registry is *enabled*, so the disabled hot path is untouched.
+
+    ``begin`` may return a token (any object); it is passed back to
+    ``end`` along with the measured duration, letting a hook carry
+    per-span state without keeping its own stack in sync.
+    """
+
+    __slots__ = ()
+
+    def begin(self, name: str) -> object:  # pragma: no cover - interface
+        return None
+
+    def end(self, name: str, token: object, seconds: float) -> None:
+        """Called after the span's timer recorded ``seconds``."""
+
+
+class _HookedSpan(Span):
+    """A :class:`Span` that notifies the registry's hooks around the
+    timed interval.  Hooks fire in attach order on begin and reverse
+    order on end, so a later hook nests inside an earlier one."""
+
+    __slots__ = ("_name", "_hooks", "_tokens")
+
+    def __init__(self, timer: Timer, name: str, hooks: tuple):
+        super().__init__(timer)
+        self._name = name
+        self._hooks = hooks
+        self._tokens: list = []
+
+    def __enter__(self) -> "Span":
+        self._tokens = [hook.begin(self._name) for hook in self._hooks]
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        seconds = perf_counter() - self._t0
+        self._timer.record(seconds)
+        for hook, token in zip(reversed(self._hooks), reversed(self._tokens)):
+            hook.end(self._name, token, seconds)
+
+
 class Registry:
     """Process-local collection of counters and timers.
 
@@ -128,12 +183,13 @@ class Registry:
     the benchmark fixtures use.
     """
 
-    __slots__ = ("enabled", "_counters", "_timers")
+    __slots__ = ("enabled", "_counters", "_timers", "_hooks")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
+        self._hooks: tuple[SpanHook, ...] = ()
 
     # -- state --------------------------------------------------------
 
@@ -155,6 +211,24 @@ class Registry:
         reads naturally.
         """
         return _Capture(self, reset)
+
+    # -- hooks --------------------------------------------------------
+
+    def add_hook(self, hook: SpanHook) -> None:
+        """Attach a :class:`SpanHook`; it sees every span while enabled.
+
+        Hooks survive :meth:`reset` (they are observers, not recorded
+        state) and are stored as a tuple so :meth:`time` pays only a
+        truthiness check when none are attached.
+        """
+        self._hooks = self._hooks + (hook,)
+
+    def remove_hook(self, hook: SpanHook) -> None:
+        self._hooks = tuple(h for h in self._hooks if h is not hook)
+
+    @property
+    def hooks(self) -> tuple[SpanHook, ...]:
+        return self._hooks
 
     # -- recording ----------------------------------------------------
 
@@ -179,9 +253,17 @@ class Registry:
         return t
 
     def time(self, name: str) -> Span:
-        """A span recording into timer ``name``; no-op when disabled."""
+        """A span recording into timer ``name``; no-op when disabled.
+
+        When hooks are attached the span also notifies them on
+        begin/end — this is the single place the event stream and the
+        memory tracker plug into, which is why every existing
+        ``trace()``/``@traced`` site emits events with zero changes.
+        """
         if not self.enabled:
             return _NULL_SPAN
+        if self._hooks:
+            return _HookedSpan(self.timer(name), name, self._hooks)
         return Span(self.timer(name))
 
     # -- reading ------------------------------------------------------
@@ -206,6 +288,46 @@ class Registry:
 
     def __iter__(self) -> Iterator[Counter]:
         return iter(self._counters.values())
+
+    # -- cross-process merging ---------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable snapshot for merging across process boundaries.
+
+        Unlike :meth:`snapshot` (the RunRecord shape), this keeps the
+        full timer statistics — ``total``/``count``/``max`` — so two
+        workers' states merge losslessly.
+        """
+        return {
+            "counters": self.counters(),
+            "timers": {
+                name: {"total": t.total, "count": t.count, "max": t.max}
+                for name, t in self.timers().items()
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` into this registry.
+
+        Counters sum; timers merge ``total``/``count``/``max``.  The
+        one exception: ``mem.*.peak_bytes`` counters (written by
+        :class:`repro.obs.profile.MemTracker`) are *peaks*, so they
+        merge by maximum — summing peak memory across processes would
+        report a number no process ever used.
+        """
+        for name, value in state.get("counters", {}).items():
+            if name.startswith("mem.") and name.endswith(".peak_bytes"):
+                counter = self.counter(name)
+                if value > counter.value:
+                    counter.value = value
+            else:
+                self.counter(name).incr(value)
+        for name, entry in state.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total += entry["total"]
+            timer.count += entry["count"]
+            if entry.get("max", 0.0) > timer.max:
+                timer.max = entry["max"]
 
 
 class _Capture:
@@ -261,7 +383,9 @@ def traced(name: str | F | None = None) -> Callable[[F], F] | F:
         def wrapper(*args, **kwargs):
             if not OBS.enabled:
                 return fn(*args, **kwargs)
-            with Span(OBS.timer(timer_name)):
+            # Via OBS.time (not a bare Span) so attached hooks — the
+            # event stream, the memory tracker — see decorated calls.
+            with OBS.time(timer_name):
                 return fn(*args, **kwargs)
 
         return wrapper  # type: ignore[return-value]

@@ -1,0 +1,141 @@
+"""Memory and CPU profiling hooks: ``--mem-trace`` / ``--profile-out``.
+
+Two opt-in layers on top of the span machinery, both standard-library
+only:
+
+* :class:`MemTracker` — a span hook recording each span's **peak
+  traced memory** (``tracemalloc``) into ``mem.<span>.peak_bytes``
+  counters, so the numbers land in the :class:`~repro.obs.RunRecord`
+  next to the operation counts.  :func:`mem_tracing` is the one-call
+  context manager the CLI's ``--mem-trace`` flag uses.
+* :func:`profile_to` — a ``cProfile`` context manager writing a
+  ``.pstats`` file (``--profile-out FILE.pstats``) loadable with
+  ``python -m pstats`` or ``snakeviz``.
+
+Both are strictly opt-in: nothing here is imported by the hot paths,
+and tracemalloc's own overhead (every allocation is traced) makes
+``--mem-trace`` a diagnostic mode, not something to leave on while
+timing.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from pathlib import Path
+
+from .core import OBS, Registry, SpanHook
+
+__all__ = ["MemTracker", "mem_tracing", "profile_to"]
+
+
+class MemTracker(SpanHook):
+    """Span hook recording per-span peak traced memory.
+
+    For every span ``name`` the registry gains a counter
+    ``mem.<name>.peak_bytes`` holding the **maximum** absolute traced
+    memory observed while any span of that name was open (a peak, not
+    a sum — repeated spans max-merge, and so do worker registries, see
+    :meth:`Registry.merge_state`).
+
+    Nested spans need care: ``tracemalloc.reset_peak()`` is the only
+    way to scope a peak to an interval, but resetting inside a child
+    span would erase the peak the parent still needs.  So the tracker
+    keeps a frame stack and *propagates* each closing span's observed
+    peak into its parent's frame before resetting — every enclosing
+    span sees max(everything inside it).
+    """
+
+    __slots__ = ("registry", "run_peak", "_stack")
+
+    def __init__(self, registry: Registry):
+        self.registry = registry
+        self.run_peak = 0
+        self._stack: list[list[int]] = []
+
+    def begin(self, name: str) -> list[int] | None:
+        if not tracemalloc.is_tracing():
+            return None
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        frame = [current]  # observed peak for this span so far
+        self._stack.append(frame)
+        return frame
+
+    def end(self, name: str, frame: list[int] | None, seconds: float) -> None:
+        if frame is None:
+            return
+        _, peak = tracemalloc.get_traced_memory()
+        self._stack.pop()
+        observed = max(frame[0], peak)
+        if self._stack:
+            parent = self._stack[-1]
+            if observed > parent[0]:
+                parent[0] = observed
+        tracemalloc.reset_peak()
+        if observed > self.run_peak:
+            self.run_peak = observed
+        counter = self.registry.counter(f"mem.{name}.peak_bytes")
+        if observed > counter.value:
+            counter.value = observed
+
+
+@contextmanager
+def mem_tracing(registry: Registry | None = None):
+    """Per-span peak-memory tracking for the duration of the block.
+
+    Starts ``tracemalloc`` (unless already tracing), attaches a
+    :class:`MemTracker` to ``registry`` (default: the shared ``OBS``),
+    and on exit records the whole block's peak as ``mem.run.peak_bytes``
+    before detaching and stopping tracing.  The registry must be
+    *enabled* for spans — and therefore memory frames — to exist.
+
+    ::
+
+        with OBS.capture(), mem_tracing():
+            greedy_connector_cds(graph)
+        OBS.counters()["mem.greedy.phase2.peak_bytes"]
+    """
+    registry = OBS if registry is None else registry
+    started = not tracemalloc.is_tracing()
+    if started:
+        tracemalloc.start()
+    tracker = MemTracker(registry)
+    registry.add_hook(tracker)
+    try:
+        yield tracker
+    finally:
+        registry.remove_hook(tracker)
+        _, peak = tracemalloc.get_traced_memory()
+        run_peak = max(tracker.run_peak, peak)
+        counter = registry.counter("mem.run.peak_bytes")
+        if run_peak > counter.value:
+            counter.value = run_peak
+        if started:
+            tracemalloc.stop()
+
+
+@contextmanager
+def profile_to(path: str | Path):
+    """cProfile the block and write the stats to ``path`` (pstats format).
+
+    The profile covers exactly the block — argument parsing and I/O
+    around it are excluded.  Under ``--jobs N`` only the parent process
+    is profiled (worker CPU time shows up as pool waiting); profile a
+    single experiment with ``--jobs 1`` to see solver internals.
+
+    ::
+
+        with profile_to("solve.pstats"):
+            solver(graph)
+        # python -m pstats solve.pstats  ->  sort cumtime / stats 20
+    """
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))

@@ -14,6 +14,7 @@ machine-readable shape is :data:`RUN_RECORD_SCHEMA`.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -186,6 +187,9 @@ def validate_run_record(obj: object) -> list[str]:
         for name, value in counters.items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 errors.append(f"counter {name!r} must be numeric, got {value!r}")
+            elif not math.isfinite(value):
+                # json.loads happily parses NaN/Infinity, so guard here.
+                errors.append(f"counter {name!r} must be finite, got {value!r}")
     timings = obj["timings"]
     if not isinstance(timings, Mapping):
         errors.append("timings must be an object")
@@ -196,8 +200,15 @@ def validate_run_record(obj: object) -> list[str]:
                 continue
             seconds = entry.get("seconds")
             count = entry.get("count")
-            if isinstance(seconds, bool) or not isinstance(seconds, (int, float)) or seconds < 0:
-                errors.append(f"timing {name!r}: seconds must be a number >= 0")
+            # The isfinite guard matters: NaN compares False to
+            # everything, so `seconds < 0` alone would wave NaN through.
+            if (
+                isinstance(seconds, bool)
+                or not isinstance(seconds, (int, float))
+                or not math.isfinite(seconds)
+                or seconds < 0
+            ):
+                errors.append(f"timing {name!r}: seconds must be a finite number >= 0")
             if isinstance(count, bool) or not isinstance(count, int) or count < 0:
                 errors.append(f"timing {name!r}: count must be an integer >= 0")
     if "meta" in obj and not isinstance(obj["meta"], Mapping):

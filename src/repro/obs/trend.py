@@ -1,0 +1,401 @@
+"""Bench-trend analysis: align ``BENCH_*.json`` snapshots, diff, gate.
+
+The repo accumulates one benchmark snapshot per optimisation PR
+(``BENCH_baseline.json``, ``BENCH_pr2.json``, ``BENCH_pr3.json``, ...)
+but until now nothing read them *together*.  This module is the
+observatory: it loads any sequence of ``bench_to_json.py`` outputs,
+aligns their cases (``<case>/<fixture>`` names such as
+``greedy/udg150``), computes median-time and counter deltas between
+consecutive snapshots, renders one markdown trend report, and applies
+a **regression gate** to the newest pair — the CI ``perf-gate`` job
+compares a fresh quick-bench run against the latest committed snapshot
+and fails the build on counter drift.
+
+Two kinds of delta, two kinds of budget:
+
+* **Median wall-clock time** is machine- and load-dependent, so it is
+  compared against a *noise threshold* (``--threshold``, percent;
+  deltas inside it are reported as ``~``).  On shared CI runners the
+  time gate should be off (``--no-time-gate``): the report still shows
+  the numbers, but only counters can fail the build.
+* **Operation counters** are deterministic per fixture (same instance →
+  same work, bit for bit), so their budget defaults to **zero** —
+  any drift is an algorithmic change that must be explained (or the
+  snapshot regenerated intentionally).
+
+CLI (also reachable as ``python -m repro bench compare``)::
+
+    python -m repro bench compare BENCH_baseline.json BENCH_pr2.json \\
+        BENCH_pr3.json --threshold 20 --out trend.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA_ID",
+    "BenchSnapshot",
+    "CaseDelta",
+    "SnapshotComparison",
+    "load_snapshot",
+    "counter_drift",
+    "compare_snapshots",
+    "render_trend_report",
+    "main",
+]
+
+#: Schema tag ``benchmarks/bench_to_json.py`` stamps on its output.
+BENCH_SCHEMA_ID = "repro.obs/bench-baseline/v1"
+
+
+@dataclass
+class BenchSnapshot:
+    """One parsed ``bench_to_json.py`` output."""
+
+    label: str
+    path: str | None
+    git_commit: str | None
+    repeats: int | None
+    fixtures: dict
+    cases: dict[str, dict]  # "<case>/<fixture>" -> run record object
+
+    @classmethod
+    def from_obj(cls, obj: Mapping, label: str, path: str | None = None) -> "BenchSnapshot":
+        schema = obj.get("schema")
+        if schema != BENCH_SCHEMA_ID:
+            raise ValueError(
+                f"{label}: unknown bench schema {schema!r} "
+                f"(expected {BENCH_SCHEMA_ID!r})"
+            )
+        cases = {}
+        for run in obj.get("runs", ()):
+            name = run.get("algorithm")
+            if not isinstance(name, str) or "meta" not in run:
+                raise ValueError(f"{label}: malformed run entry {name!r}")
+            cases[name] = run
+        return cls(
+            label=label,
+            path=path,
+            git_commit=obj.get("git_commit"),
+            repeats=obj.get("repeats"),
+            fixtures=dict(obj.get("fixtures", {})),
+            cases=cases,
+        )
+
+    def median(self, case: str) -> float:
+        return self.cases[case]["meta"]["seconds_median"]
+
+
+def load_snapshot(path: str | Path, label: str | None = None) -> BenchSnapshot:
+    path = Path(path)
+    obj = json.loads(path.read_text())
+    return BenchSnapshot.from_obj(obj, label or path.stem, str(path))
+
+
+def counter_drift(
+    old: Mapping[str, float],
+    new: Mapping[str, float],
+    threshold: float = 0.0,
+) -> dict[str, tuple[float, float]]:
+    """Counters whose relative drift exceeds ``threshold`` (a fraction).
+
+    Returns ``{name: (old_value, new_value)}`` over the union of both
+    counter sets (a counter appearing or disappearing counts as drift
+    from/to 0).  This is **the** counter-equivalence implementation —
+    ``benchmarks/check_counters.py`` is a thin wrapper over it.
+    """
+    drifted: dict[str, tuple[float, float]] = {}
+    for name in sorted(set(old) | set(new)):
+        a = old.get(name, 0)
+        b = new.get(name, 0)
+        if a == b:
+            continue
+        rel = abs(b - a) / abs(a) if a else float("inf")
+        if rel > threshold:
+            drifted[name] = (a, b)
+    return drifted
+
+
+@dataclass
+class CaseDelta:
+    """One aligned case between two snapshots."""
+
+    case: str
+    old_median: float
+    new_median: float
+    counters: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def rel_time(self) -> float:
+        """Relative median-time change: +0.25 means 25% slower."""
+        if self.old_median == 0:
+            return 0.0 if self.new_median == 0 else float("inf")
+        return (self.new_median - self.old_median) / self.old_median
+
+    @property
+    def speedup(self) -> float:
+        """old/new ratio: >1 means the new snapshot is faster."""
+        return self.old_median / self.new_median if self.new_median else float("inf")
+
+
+@dataclass
+class SnapshotComparison:
+    """All aligned deltas between two snapshots, plus the misalignment."""
+
+    old_label: str
+    new_label: str
+    deltas: list[CaseDelta]
+    only_old: list[str]
+    only_new: list[str]
+
+    def time_regressions(self, threshold: float) -> list[CaseDelta]:
+        """Deltas slower than the noise threshold (a fraction)."""
+        return [d for d in self.deltas if d.rel_time > threshold]
+
+    def counter_regressions(self) -> list[CaseDelta]:
+        return [d for d in self.deltas if d.counters]
+
+
+def compare_snapshots(
+    old: BenchSnapshot,
+    new: BenchSnapshot,
+    counter_threshold: float = 0.0,
+) -> SnapshotComparison:
+    """Align two snapshots' cases and compute every delta.
+
+    Cases present in only one snapshot are listed, not failed — a new
+    fixture tier or a retired case is an intentional change; the gate
+    judges only what both snapshots measured.
+    """
+    common = [name for name in old.cases if name in new.cases]
+    deltas = [
+        CaseDelta(
+            case=name,
+            old_median=old.median(name),
+            new_median=new.median(name),
+            counters=counter_drift(
+                old.cases[name].get("counters", {}),
+                new.cases[name].get("counters", {}),
+                counter_threshold,
+            ),
+        )
+        for name in common
+    ]
+    return SnapshotComparison(
+        old_label=old.label,
+        new_label=new.label,
+        deltas=deltas,
+        only_old=sorted(set(old.cases) - set(new.cases)),
+        only_new=sorted(set(new.cases) - set(old.cases)),
+    )
+
+
+# -- markdown rendering ----------------------------------------------
+
+
+def _ms(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.3g} ms"
+
+
+def _flag(delta: CaseDelta, threshold: float) -> str:
+    if delta.counters:
+        return "**COUNTER DRIFT**"
+    if delta.rel_time > threshold:
+        return "**SLOWER**"
+    if delta.rel_time < -threshold:
+        return f"improved ({delta.speedup:.1f}x)"
+    return "~"
+
+
+def render_trend_report(
+    snapshots: Sequence[BenchSnapshot],
+    comparisons: Sequence[SnapshotComparison],
+    time_threshold: float,
+    time_gate: bool = True,
+) -> str:
+    """The full markdown trend report over a snapshot series."""
+    lines: list[str] = ["# Bench trend report", ""]
+    lines.append("| snapshot | git | repeats | cases |")
+    lines.append("|---|---|---|---|")
+    for snap in snapshots:
+        commit = (snap.git_commit or "-")[:12]
+        lines.append(
+            f"| {snap.label} | {commit} | {snap.repeats} | {len(snap.cases)} |"
+        )
+    lines.append("")
+
+    # Series overview: median per case across every snapshot that has it.
+    all_cases = sorted({c for s in snapshots for c in s.cases})
+    series_cases = [
+        c for c in all_cases if sum(c in s.cases for s in snapshots) >= 2
+    ]
+    if series_cases:
+        lines.append("## Median seconds across the series")
+        lines.append("")
+        lines.append("| case | " + " | ".join(s.label for s in snapshots) + " |")
+        lines.append("|---|" + "---|" * len(snapshots))
+        for case in series_cases:
+            cells = [
+                _ms(s.median(case)) if case in s.cases else "-" for s in snapshots
+            ]
+            lines.append(f"| {case} | " + " | ".join(cells) + " |")
+        lines.append("")
+
+    for comp in comparisons:
+        lines.append(f"## {comp.old_label} → {comp.new_label}")
+        lines.append("")
+        if not comp.deltas:
+            lines.append("(no aligned cases)")
+            lines.append("")
+            continue
+        lines.append("| case | old median | new median | Δ time | flag |")
+        lines.append("|---|---|---|---|---|")
+        for d in sorted(comp.deltas, key=lambda d: d.rel_time):
+            lines.append(
+                f"| {d.case} | {_ms(d.old_median)} | {_ms(d.new_median)} "
+                f"| {d.rel_time:+.1%} | {_flag(d, time_threshold)} |"
+            )
+        drifted = comp.counter_regressions()
+        if drifted:
+            lines.append("")
+            lines.append("Counter drift (deterministic — explain or regenerate):")
+            lines.append("")
+            for d in drifted:
+                for name, (a, b) in d.counters.items():
+                    lines.append(f"- `{d.case}` `{name}`: {a:g} → {b:g}")
+        if comp.only_old or comp.only_new:
+            lines.append("")
+            if comp.only_old:
+                lines.append(
+                    f"Cases only in {comp.old_label}: "
+                    + ", ".join(f"`{c}`" for c in comp.only_old)
+                )
+            if comp.only_new:
+                lines.append(
+                    f"Cases only in {comp.new_label}: "
+                    + ", ".join(f"`{c}`" for c in comp.only_new)
+                )
+        lines.append("")
+
+    if comparisons:
+        gate = comparisons[-1]
+        lines.append("## Gate (newest pair: " f"{gate.old_label} → {gate.new_label})")
+        lines.append("")
+        problems = _gate_problems(gate, time_threshold, time_gate)
+        if problems:
+            lines.append("**REGRESSED:**")
+            lines.append("")
+            lines.extend(f"- {p}" for p in problems)
+        else:
+            skipped = (
+                "" if time_gate else " (time drift advisory: --no-time-gate)"
+            )
+            lines.append(f"No regression beyond budget{skipped}.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _gate_problems(
+    comparison: SnapshotComparison, time_threshold: float, time_gate: bool
+) -> list[str]:
+    """The regression lines that make the gate fail (empty = pass)."""
+    problems = []
+    for d in comparison.counter_regressions():
+        for name, (a, b) in d.counters.items():
+            problems.append(f"`{d.case}` counter `{name}` drifted {a:g} → {b:g}")
+    if time_gate:
+        for d in comparison.time_regressions(time_threshold):
+            problems.append(
+                f"`{d.case}` median time {_ms(d.old_median)} → "
+                f"{_ms(d.new_median)} ({d.rel_time:+.1%}, budget "
+                f"{time_threshold:.0%})"
+            )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench compare",
+        description=(
+            "Align a series of bench_to_json.py snapshots, render a "
+            "markdown trend report, and fail (exit 1) when the newest "
+            "pair regresses beyond budget."
+        ),
+    )
+    parser.add_argument(
+        "snapshots", nargs="+", metavar="BENCH.json",
+        help="two or more snapshots, oldest first",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="time noise threshold in percent (default: 20)",
+    )
+    parser.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="counter drift budget in percent (default: 0 — exact match)",
+    )
+    parser.add_argument(
+        "--no-time-gate",
+        action="store_true",
+        help=(
+            "report time deltas but never fail on them (for shared CI "
+            "runners, where only the deterministic counters are trusted)"
+        ),
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the markdown report here"
+    )
+    args = parser.parse_args(argv)
+    if len(args.snapshots) < 2:
+        print("need at least two snapshots to compare", file=sys.stderr)
+        return 2
+
+    snapshots = []
+    for path in args.snapshots:
+        try:
+            snapshots.append(load_snapshot(path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+
+    time_threshold = args.threshold / 100.0
+    comparisons = [
+        compare_snapshots(a, b, counter_threshold=args.counter_threshold / 100.0)
+        for a, b in zip(snapshots, snapshots[1:])
+    ]
+    report = render_trend_report(
+        snapshots,
+        comparisons,
+        time_threshold=time_threshold,
+        time_gate=not args.no_time_gate,
+    )
+    print(report)
+    if args.out:
+        Path(args.out).write_text(report + "\n")
+
+    problems = _gate_problems(
+        comparisons[-1], time_threshold, time_gate=not args.no_time_gate
+    )
+    if problems:
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

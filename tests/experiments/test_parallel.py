@@ -95,3 +95,67 @@ class TestRunExperimentsParallel:
     def test_unknown_id_raises_before_forking(self):
         with pytest.raises(KeyError):
             run_experiments_parallel(["NOPE"], jobs=2)
+
+
+class TestCollectObs:
+    """collect_obs=True: instrumentation crosses the process boundary."""
+
+    CHEAP = ["F1F2", "T6"]
+
+    @staticmethod
+    def merge(outcomes):
+        from repro.obs import Registry
+
+        reg = Registry()
+        for _result, state, _events in outcomes:
+            reg.merge_state(state)
+        return reg
+
+    def test_triples_returned_and_results_match_plain_run(self):
+        plain = run_experiments_parallel(self.CHEAP, jobs=1)
+        triples = run_experiments_parallel(self.CHEAP, jobs=2, collect_obs=True)
+        assert [r.render() for r, _, _ in triples] == [
+            r.render() for r in plain
+        ]
+        for _result, state, events in triples:
+            assert set(state) == {"counters", "timers"}
+            assert events is None  # collect_events was off
+
+    def test_merged_parallel_counters_equal_serial(self):
+        serial = run_experiments_parallel(self.CHEAP, jobs=1, collect_obs=True)
+        forked = run_experiments_parallel(self.CHEAP, jobs=2, collect_obs=True)
+        assert self.merge(forked).counters() == self.merge(serial).counters()
+        # Timer counts (span executions) must agree too; totals are
+        # wall-clock and thus machine noise.
+        serial_timers = self.merge(serial).timings()
+        forked_timers = self.merge(forked).timings()
+        assert {
+            name: t["count"] for name, t in forked_timers.items()
+        } == {name: t["count"] for name, t in serial_timers.items()}
+
+    def test_collect_events_returns_per_worker_logs(self):
+        from repro.obs.events import merge_events, replay, validate_events
+
+        triples = run_experiments_parallel(
+            self.CHEAP, jobs=2, collect_obs=True, collect_events=True
+        )
+        logs = [events for _, _, events in triples]
+        assert all(logs)
+        for index, log in enumerate(logs):
+            assert log[0]["run"] == f"worker-{index}"
+            assert validate_events(log) == []
+        merged = merge_events(logs)
+        assert validate_events(merged) == []
+        roots = replay(merged)
+        root_names = {(r.name, r.worker) for r in roots}
+        assert ("experiment.F1F2", 0) in root_names
+        assert ("experiment.T6", 1) in root_names
+
+    def test_mem_trace_collects_peak_counters(self):
+        triples = run_experiments_parallel(
+            ["F1F2"], jobs=1, collect_obs=True, mem_trace=True
+        )
+        reg = self.merge(triples)
+        counters = reg.counters()
+        assert counters["mem.run.peak_bytes"] > 0
+        assert counters["mem.experiment.F1F2.peak_bytes"] > 0

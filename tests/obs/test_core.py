@@ -86,6 +86,170 @@ class TestRegistry:
         assert snap["timings"]["t"]["seconds"] >= 0.0
 
 
+class TestTimerMax:
+    def test_max_tracks_longest_span(self):
+        from repro.obs.core import Timer
+
+        t = Timer("t")
+        for seconds in (0.2, 0.5, 0.1):
+            t.record(seconds)
+        assert t.max == 0.5
+        assert t.last == 0.1
+        assert t.count == 3
+
+
+class RecordingHook:
+    """A SpanHook that logs its calls, for attachment tests."""
+
+    def __init__(self):
+        self.calls = []
+
+    def begin(self, name):
+        self.calls.append(("begin", name))
+        return f"token:{name}"
+
+    def end(self, name, token, seconds):
+        self.calls.append(("end", name, token, seconds >= 0))
+
+
+class TestSpanHooks:
+    def test_hook_sees_begin_and_end_with_token(self):
+        reg = Registry(enabled=True)
+        hook = RecordingHook()
+        reg.add_hook(hook)
+        with reg.time("phase"):
+            pass
+        assert hook.calls == [
+            ("begin", "phase"),
+            ("end", "phase", "token:phase", True),
+        ]
+
+    def test_hooks_never_fire_while_disabled(self):
+        reg = Registry()
+        hook = RecordingHook()
+        reg.add_hook(hook)
+        with reg.time("phase"):
+            pass
+        assert hook.calls == []
+
+    def test_remove_hook_detaches(self):
+        reg = Registry(enabled=True)
+        hook = RecordingHook()
+        reg.add_hook(hook)
+        reg.remove_hook(hook)
+        assert reg.hooks == ()
+        with reg.time("phase"):
+            pass
+        assert hook.calls == []
+
+    def test_hooks_survive_reset(self):
+        reg = Registry(enabled=True)
+        hook = RecordingHook()
+        reg.add_hook(hook)
+        reg.reset()
+        with reg.time("phase"):
+            pass
+        assert hook.calls
+
+    def test_later_hook_nests_inside_earlier(self):
+        order = []
+
+        class Ordered(RecordingHook):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+            def begin(self, name):
+                order.append(f"begin:{self.tag}")
+
+            def end(self, name, token, seconds):
+                order.append(f"end:{self.tag}")
+
+        reg = Registry(enabled=True)
+        reg.add_hook(Ordered("a"))
+        reg.add_hook(Ordered("b"))
+        with reg.time("phase"):
+            pass
+        assert order == ["begin:a", "begin:b", "end:b", "end:a"]
+
+    def test_trace_and_traced_reach_hooks(self):
+        hook = RecordingHook()
+        OBS.enable()
+        OBS.add_hook(hook)
+        try:
+
+            @traced("hooked.fn")
+            def fn():
+                return 7
+
+            with trace("hooked.block"):
+                fn()
+        finally:
+            OBS.remove_hook(hook)
+        assert [c[:2] for c in hook.calls] == [
+            ("begin", "hooked.block"),
+            ("begin", "hooked.fn"),
+            ("end", "hooked.fn"),
+            ("end", "hooked.block"),
+        ]
+
+    def test_timer_still_records_under_hooks(self):
+        reg = Registry(enabled=True)
+        reg.add_hook(RecordingHook())
+        with reg.time("t"):
+            pass
+        assert reg.timer("t").count == 1
+
+
+class TestStateMerging:
+    def make_worker(self, evals, span_seconds):
+        reg = Registry(enabled=True)
+        reg.incr("gain.evaluations", evals)
+        reg.timer("solve").record(span_seconds)
+        return reg
+
+    def test_export_state_shape(self):
+        reg = self.make_worker(5, 0.25)
+        state = reg.export_state()
+        assert state["counters"] == {"gain.evaluations": 5}
+        assert state["timers"]["solve"] == {
+            "total": 0.25,
+            "count": 1,
+            "max": 0.25,
+        }
+
+    def test_merge_sums_counters_and_combines_timers(self):
+        a = self.make_worker(5, 0.25)
+        b = self.make_worker(7, 0.10)
+        a.merge_state(b.export_state())
+        assert a.counters() == {"gain.evaluations": 12}
+        solve = a.timer("solve")
+        assert solve.total == pytest.approx(0.35)
+        assert solve.count == 2
+        assert solve.max == 0.25
+
+    def test_merge_is_commutative_on_counters(self):
+        states = [self.make_worker(k, 0.01 * k).export_state() for k in (1, 2, 3)]
+        fwd, rev = Registry(), Registry()
+        for s in states:
+            fwd.merge_state(s)
+        for s in reversed(states):
+            rev.merge_state(s)
+        assert fwd.counters() == rev.counters()
+        # Timer totals are float sums: order-independent up to rounding.
+        assert fwd.timings()["solve"]["count"] == rev.timings()["solve"]["count"]
+        assert fwd.timings()["solve"]["seconds"] == pytest.approx(
+            rev.timings()["solve"]["seconds"]
+        )
+
+    def test_merge_into_empty_registry_reproduces_worker(self):
+        worker = self.make_worker(9, 0.5)
+        parent = Registry()
+        parent.merge_state(worker.export_state())
+        assert parent.counters() == worker.counters()
+        assert parent.timings() == worker.timings()
+
+
 class TestTraceHelpers:
     def test_trace_records_on_default_registry(self):
         OBS.enable()

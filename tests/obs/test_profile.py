@@ -1,0 +1,118 @@
+"""Tests for the memory/profile hooks (``repro.obs.profile``)."""
+
+import pstats
+import tracemalloc
+
+import pytest
+
+from repro.obs import OBS, Registry
+from repro.obs.profile import MemTracker, mem_tracing, profile_to
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_registry():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+class TestMemTracing:
+    def test_records_per_span_and_run_peaks(self):
+        reg = Registry(enabled=True)
+        with mem_tracing(reg):
+            with reg.time("alloc"):
+                blob = bytearray(512 * 1024)
+            del blob
+        counters = reg.counters()
+        assert counters["mem.alloc.peak_bytes"] >= 512 * 1024
+        assert counters["mem.run.peak_bytes"] >= counters["mem.alloc.peak_bytes"]
+
+    def test_nested_peak_propagates_to_parent(self):
+        """A child's allocation must show in the enclosing span's peak.
+
+        ``reset_peak()`` at child close would otherwise blind the
+        parent — the regression the frame stack exists to prevent.
+        """
+        reg = Registry(enabled=True)
+        with mem_tracing(reg):
+            with reg.time("outer"):
+                with reg.time("inner"):
+                    blob = bytearray(512 * 1024)
+                del blob
+                # After the child closes (and resets the peak), the
+                # parent does nothing big of its own.
+        counters = reg.counters()
+        assert counters["mem.inner.peak_bytes"] >= 512 * 1024
+        assert counters["mem.outer.peak_bytes"] >= counters["mem.inner.peak_bytes"]
+
+    def test_repeated_spans_keep_the_max(self):
+        reg = Registry(enabled=True)
+        with mem_tracing(reg):
+            with reg.time("work"):
+                blob = bytearray(1024 * 1024)
+            del blob
+            with reg.time("work"):
+                pass  # allocates ~nothing; must not shrink the counter
+        assert reg.counters()["mem.work.peak_bytes"] >= 1024 * 1024
+
+    def test_stops_tracing_only_if_it_started_it(self):
+        reg = Registry(enabled=True)
+        assert not tracemalloc.is_tracing()
+        with mem_tracing(reg):
+            assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+        tracemalloc.start()
+        try:
+            with mem_tracing(reg):
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_tracker_inert_without_tracemalloc(self):
+        # Attached but tracemalloc never started: spans work, no counters.
+        reg = Registry(enabled=True)
+        reg.add_hook(MemTracker(reg))
+        with reg.time("quiet"):
+            pass
+        assert "mem.quiet.peak_bytes" not in reg.counters()
+
+    def test_peak_counters_max_merge_across_workers(self):
+        reg = Registry(enabled=True)
+        reg.counter("mem.solve.peak_bytes").value = 1000
+        reg.counter("gain.evaluations").value = 10
+        reg.merge_state(
+            {
+                "counters": {"mem.solve.peak_bytes": 700, "gain.evaluations": 5},
+                "timers": {},
+            }
+        )
+        counters = reg.counters()
+        # Peaks take the max (700 < 1000), plain counters sum.
+        assert counters["mem.solve.peak_bytes"] == 1000
+        assert counters["gain.evaluations"] == 15
+
+
+class TestProfileTo:
+    def test_writes_loadable_pstats(self, tmp_path):
+        out = tmp_path / "run.pstats"
+
+        def work():
+            return sum(i * i for i in range(1000))
+
+        with profile_to(out):
+            work()
+        stats = pstats.Stats(str(out))
+        names = {fn for (_, _, fn) in stats.stats}
+        assert "work" in names
+
+    def test_writes_even_when_block_raises(self, tmp_path):
+        out = tmp_path / "crash.pstats"
+        with pytest.raises(RuntimeError):
+            with profile_to(out):
+                raise RuntimeError("boom")
+        assert out.exists()
+        pstats.Stats(str(out))  # still loadable

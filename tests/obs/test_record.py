@@ -88,6 +88,49 @@ class TestValidation:
         obj["timings"]["t"] = {"seconds": 0.1}
         assert validate_run_record(obj)
 
+    def test_nan_timing_rejected(self):
+        # NaN compares False to everything, so a naive `seconds < 0`
+        # check waves it through — the validator must catch it.
+        obj = make_record().to_json_obj()
+        obj["timings"]["t"] = {"seconds": float("nan"), "count": 1}
+        assert any("finite" in e for e in validate_run_record(obj))
+
+    def test_infinite_timing_rejected(self):
+        obj = make_record().to_json_obj()
+        obj["timings"]["t"] = {"seconds": float("inf"), "count": 1}
+        assert any("finite" in e for e in validate_run_record(obj))
+
+    def test_nan_and_infinite_counters_rejected(self):
+        obj = make_record().to_json_obj()
+        obj["counters"]["bad.nan"] = float("nan")
+        obj["counters"]["bad.inf"] = float("-inf")
+        errors = validate_run_record(obj)
+        assert any("bad.nan" in e for e in errors)
+        assert any("bad.inf" in e for e in errors)
+
+    def test_nan_from_json_text_rejected(self):
+        # json.loads happily parses bare NaN — the validator is the
+        # only line of defence for records edited or produced outside
+        # this package.
+        text = json.dumps(make_record().to_json_obj()).replace(
+            "0.01", "NaN"
+        )
+        obj = json.loads(text)
+        assert validate_run_record(obj)
+
+    def test_unknown_schema_version_rejected(self):
+        obj = make_record().to_json_obj()
+        obj["schema"] = "repro.obs/run-record/v99"
+        assert any("schema" in e for e in validate_run_record(obj))
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_json_obj(obj)
+
+    def test_empty_registry_record_is_valid(self):
+        rec = RunRecord.from_registry(Registry(), algorithm="noop")
+        obj = rec.to_json_obj()
+        assert obj["counters"] == {} and obj["timings"] == {}
+        assert validate_run_record(obj) == []
+
     def test_seed_must_be_int_or_null(self):
         obj = make_record().to_json_obj()
         obj["seed"] = "one"

@@ -193,3 +193,149 @@ class TestSolveStats:
         assert record.results["passed"] is True
         assert record.timings["experiment.LEM"]["count"] == 1
         assert validate_run_record(record.to_json_obj()) == []
+
+
+class TestParallelStats:
+    """--jobs N with observability: merged output must equal serial."""
+
+    CHEAP = ["F1F2", "T6"]
+
+    def run_stats(self, tmp_path, name, jobs):
+        rec_file = tmp_path / name
+        argv = self.CHEAP + ["--stats-out", str(rec_file)]
+        if jobs > 1:
+            argv += ["--jobs", str(jobs)]
+        assert main(argv) == 0
+        return json.loads(rec_file.read_text())
+
+    def test_parallel_record_valid_and_counters_equal_serial(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import validate_run_record
+
+        serial = self.run_stats(tmp_path, "serial.json", jobs=1)
+        merged = self.run_stats(tmp_path, "parallel.json", jobs=2)
+        assert validate_run_record(merged) == []
+        assert merged["counters"] == serial["counters"]
+        assert merged["results"] == serial["results"] == {
+            "ran": 2,
+            "failed": [],
+        }
+        # Same spans executed, whatever the process layout.
+        assert {
+            name: t["count"] for name, t in merged["timings"].items()
+        } == {name: t["count"] for name, t in serial["timings"].items()}
+
+    def test_parallel_trace_prints_merged_report(self, tmp_path, capsys):
+        assert main(self.CHEAP + ["--jobs", "2", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation" in out
+        assert "experiment.T6" in out
+
+
+class TestEventLogFlag:
+    CHEAP = ["F1F2", "T6"]
+
+    def test_serial_events_replay_experiment_spans(self, tmp_path, capsys):
+        from repro.obs.events import read_events, replay
+
+        log_file = tmp_path / "run.events.jsonl"
+        assert main(["T6", "--events-out", str(log_file)]) == 0
+        assert "event log written" in capsys.readouterr().out
+        roots = replay(read_events(log_file))
+        assert any(r.name == "experiment.T6" for r in roots)
+
+    def test_parallel_events_cover_every_worker(self, tmp_path, capsys):
+        from repro.obs.events import read_events, replay
+
+        log_file = tmp_path / "merged.events.jsonl"
+        assert (
+            main(self.CHEAP + ["--jobs", "2", "--events-out", str(log_file)])
+            == 0
+        )
+        events = read_events(log_file)
+        headers = [e for e in events if e["type"] == "run"]
+        assert [h["worker"] for h in headers] == [0, 1]
+        roots = replay(events)
+        assert {r.name for r in roots} == {
+            "experiment.F1F2",
+            "experiment.T6",
+        }
+
+    def test_solve_events(self, deployment, tmp_path, capsys):
+        from repro.obs.events import read_events, replay
+
+        log_file = tmp_path / "solve.events.jsonl"
+        assert (
+            main(["solve", deployment, "--events-out", str(log_file)]) == 0
+        )
+        # The log also covers spans before the solver (the UDG build),
+        # so find the solve root among possibly several.
+        roots = replay(read_events(log_file))
+        (solve,) = [r for r in roots if r.name == "solve.total"]
+        child_names = {c.name for c in solve.children}
+        assert "greedy.phase1" in child_names
+
+
+class TestMemAndProfileFlags:
+    def test_solve_mem_trace_in_record(self, deployment, tmp_path, capsys):
+        rec_file = tmp_path / "rec.json"
+        assert (
+            main(
+                [
+                    "solve",
+                    deployment,
+                    "--mem-trace",
+                    "--stats-out",
+                    str(rec_file),
+                ]
+            )
+            == 0
+        )
+        counters = json.loads(rec_file.read_text())["counters"]
+        assert counters["mem.run.peak_bytes"] > 0
+        assert counters["mem.solve.total.peak_bytes"] > 0
+
+    def test_solve_profile_out(self, deployment, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "solve.pstats"
+        assert main(["solve", deployment, "--profile-out", str(out)]) == 0
+        assert "profile written" in capsys.readouterr().out
+        pstats.Stats(str(out))  # loadable
+
+    def test_experiments_profile_out(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "t6.pstats"
+        assert main(["T6", "--profile-out", str(out)]) == 0
+        pstats.Stats(str(out))
+
+
+class TestBenchSubcommand:
+    def test_requires_compare(self, capsys):
+        assert main(["bench"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["bench", "diff"]) == 2
+
+    def test_compare_dispatches_to_trend(self, tmp_path, capsys):
+        from repro.obs.trend import BENCH_SCHEMA_ID
+
+        snap = {
+            "schema": BENCH_SCHEMA_ID,
+            "repeats": 1,
+            "fixtures": {},
+            "runs": [
+                {
+                    "algorithm": "greedy/udg20",
+                    "counters": {"gain.evaluations": 10},
+                    "meta": {"seconds_median": 0.01},
+                }
+            ],
+        }
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(snap))
+        b.write_text(json.dumps(snap))
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        assert "Bench trend report" in capsys.readouterr().out
