@@ -186,8 +186,19 @@ def _case_task(task: tuple[str, str, int]) -> dict:
     return run_case(f"{case_name}/{fixture}", fixture, fn, repeats).to_json_obj()
 
 
+def _task_key(task: tuple[str, str, int]) -> str:
+    """Checkpoint-ledger identity of one benchmark case."""
+    case_name, fixture, _ = task
+    return f"{case_name}/{fixture}"
+
+
 def build_baseline(
-    repeats: int, fixtures: list[str] | None = None, jobs: int = 1
+    repeats: int,
+    fixtures: list[str] | None = None,
+    jobs: int = 1,
+    *,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> dict:
     names = list(DEFAULT_FIXTURES) if fixtures is None else list(fixtures)
     for name in names:
@@ -198,7 +209,30 @@ def build_baseline(
         for fixture in names
         for case in _fixture_cases(fixture)
     ]
-    runs = parallel_map(_case_task, tasks, jobs=jobs)
+    if checkpoint:
+        # Long scaling-tier runs journal per case: an interrupted run
+        # resumed with --resume re-times only the missing cases.  (A
+        # resumed case keeps its journalled timing samples — the
+        # counters are deterministic either way.)
+        from repro.reliability import run_cells
+
+        report = run_cells(
+            _case_task,
+            tasks,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            label=f"bench:r{repeats}",
+            key_fn=_task_key,
+        )
+        if not report.ok:
+            raise RuntimeError(
+                "benchmark sweep incomplete (a baseline needs every "
+                "case):\n" + report.render_failures()
+            )
+        runs = report.results
+    else:
+        runs = parallel_map(_case_task, tasks, jobs=jobs)
     return {
         "schema": SCHEMA_ID,
         "version": __version__,
@@ -263,13 +297,36 @@ def main(argv=None) -> int:
             "so keep --jobs 1 for a committed timing baseline"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help=(
+            "journal completed cases to this JSONL ledger "
+            "(repro.reliability/checkpoint/v1) so a long scaling-tier "
+            "run can be interrupted and resumed"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="load --checkpoint and re-run only the missing cases",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
 
     fixtures = args.fixtures.split(",") if args.fixtures else None
     try:
-        baseline = build_baseline(args.repeats, fixtures, args.jobs)
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+        baseline = build_baseline(
+            args.repeats,
+            fixtures,
+            args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except (KeyError, ValueError, RuntimeError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
     Path(args.out).write_text(json.dumps(baseline, indent=2) + "\n")
     slowest = max(baseline["runs"], key=lambda r: r["meta"]["seconds_median"])

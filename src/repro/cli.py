@@ -37,7 +37,27 @@ Both modes accept the observability flags (see
       python -m repro solve deploy.csv --algorithm greedy --trace \
           --mem-trace --profile-out solve.pstats
 
-A third mode, **bench**, compares committed benchmark snapshots and
+A third mode, **sweep**, runs one algorithm over an ``(n x seed)``
+grid of random connected UDG instances with the reliability layer
+underneath — fault isolation, bounded retries, per-cell timeouts, and
+a checkpoint ledger so an interrupted sweep resumes only its missing
+cells (see ``docs/robustness.md``)::
+
+      python -m repro sweep --ns 50,100 --seeds 0:10 --algorithm greedy \
+          --jobs 4 --retries 2 --cell-timeout 60 \
+          --checkpoint sweep.jsonl
+      python -m repro sweep --ns 50,100 --seeds 0:10 --algorithm greedy \
+          --jobs 4 --checkpoint sweep.jsonl --resume   # after a crash
+
+The reliability flags (``--checkpoint``/``--resume``/``--retries``/
+``--cell-timeout``/``--backoff``, plus ``--inject-fault`` for chaos
+drills) are also accepted by the experiments mode, where the "cells"
+are the experiment ids themselves::
+
+      python -m repro --all --jobs 4 --checkpoint exps.jsonl --retries 1
+      python -m repro --all --jobs 4 --checkpoint exps.jsonl --resume
+
+A fourth mode, **bench**, compares committed benchmark snapshots and
 gates on regressions (see ``docs/performance.md`` §7)::
 
       python -m repro bench compare BENCH_baseline.json BENCH_pr3.json
@@ -85,6 +105,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if args and args[0] == "solve":
         return _solve_main(args[1:])
+    if args and args[0] == "sweep":
+        return _sweep_main(args[1:])
     if args and args[0] == "bench":
         return _bench_main(args[1:])
     return _experiments_main(args)
@@ -134,6 +156,7 @@ def _experiments_main(argv: Sequence[str]) -> int:
             "deterministically)"
         ),
     )
+    _add_reliability_flags(parser, cell_noun="experiment")
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
 
@@ -150,7 +173,47 @@ def _experiments_main(argv: Sequence[str]) -> int:
     ids = sorted(registry) if args.all else args.experiments
     failed: list[str] = []
     ran: list[str] = []
-    if jobs > 1:
+    cell_failures = []
+    if _reliability_requested(args):
+        # Fault-isolated path: each experiment in its own process, with
+        # retries/timeouts and the checkpoint ledger.  A crashing
+        # experiment becomes a structured failure in the report instead
+        # of killing the batch.
+        from .experiments.harness import ExperimentResult
+        from .experiments.parallel import run_experiments_resilient
+
+        error = _validate_reliability_flags(args)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        session.start()  # hooks in the parent record reliability notes
+        try:
+            with session.profiled():
+                report = run_experiments_resilient(
+                    ids,
+                    jobs=jobs,
+                    collect_obs=session.wanted,
+                    policy=_retry_policy(args),
+                    faults=_fault_plan(args),
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                )
+        except (KeyError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        session.stop_hooks()
+        results = []
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                continue
+            payload = outcome.result
+            results.append(ExperimentResult.from_json_obj(payload["result"]))
+            if session.wanted and payload.get("state"):
+                OBS.merge_state(payload["state"])
+        cell_failures = report.failures
+        if not report.ok:
+            print(report.render_failures(), file=sys.stderr)
+    elif jobs > 1:
         # Workers capture their own registries; the parent merges them
         # (counters sum; timers merge total/count/max) so the report,
         # the RunRecord and the event log cover every experiment.
@@ -217,8 +280,270 @@ def _experiments_main(argv: Sequence[str]) -> int:
     if failed:
         print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
         return 1
+    if cell_failures:
+        return 1
     print(f"all {len(ids)} experiment(s) passed")
     return 0
+
+
+def _add_reliability_flags(
+    parser: argparse.ArgumentParser, cell_noun: str = "cell"
+) -> None:
+    """The fault-isolation/checkpoint flags shared by sweep-shaped modes."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=f"re-run a failed {cell_noun} up to N extra times "
+        "(deterministic backoff; see --backoff)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"per-attempt wall-clock budget; an overdue {cell_noun} "
+        "worker is terminated and counted as a timeout failure",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base retry delay, doubled per attempt with a jitter "
+        "seeded per cell (reruns sleep the identical schedule)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="journal completed cells to this JSONL ledger "
+        "(repro.reliability/checkpoint/v1), fsynced per cell",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="load --checkpoint first and run only the missing cells; "
+        "merged results and counters are bit-identical to an "
+        "uninterrupted run",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="chaos drill: deterministically inject a fault at trace "
+        "sites, e.g. 'site=greedy.phase2;action=kill;scope=*seed=1*' "
+        "(repeatable; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for --inject-fault decisions",
+    )
+
+
+def _reliability_requested(args) -> bool:
+    return bool(
+        args.checkpoint
+        or args.resume
+        or args.retries
+        or args.cell_timeout is not None
+        or args.inject_fault
+    )
+
+
+def _validate_reliability_flags(args) -> str | None:
+    if args.resume and not args.checkpoint:
+        return "--resume requires --checkpoint FILE"
+    if args.retries < 0:
+        return f"--retries must be >= 0 (got {args.retries})"
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        return f"--cell-timeout must be > 0 (got {args.cell_timeout})"
+    return None
+
+
+def _retry_policy(args):
+    from .reliability import RetryPolicy
+
+    return RetryPolicy(
+        retries=args.retries,
+        timeout=args.cell_timeout,
+        backoff=args.backoff,
+        seed=args.fault_seed,
+    )
+
+
+def _fault_plan(args):
+    if not args.inject_fault:
+        return None
+    from .reliability import FaultPlan, parse_fault_spec
+
+    return FaultPlan(
+        seed=args.fault_seed,
+        specs=tuple(parse_fault_spec(spec) for spec in args.inject_fault),
+    )
+
+
+def _parse_int_list(text: str, flag: str) -> list[int]:
+    """``"20,40"`` -> ``[20, 40]``; ``"0:5"`` -> ``[0, 1, 2, 3, 4]``."""
+    try:
+        if ":" in text:
+            lo, _, hi = text.partition(":")
+            values = list(range(int(lo), int(hi)))
+        else:
+            values = [int(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(
+            f"{flag} expects comma-separated integers or LO:HI, got {text!r}"
+        ) from None
+    if not values:
+        raise ValueError(f"{flag} selected no values (got {text!r})")
+    return values
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cds sweep",
+        description=(
+            "Run a CDS algorithm over an (n x seed) grid of random "
+            "connected UDGs with fault isolation, retries, per-cell "
+            "timeouts and checkpoint/resume (docs/robustness.md).  "
+            "Cell results and merged counters are deterministic per "
+            "seed, whatever --jobs is and however often the sweep was "
+            "interrupted and resumed."
+        ),
+    )
+    parser.add_argument(
+        "--ns",
+        required=True,
+        metavar="N1,N2|LO:HI",
+        help="instance sizes of the grid",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="0",
+        metavar="S1,S2|LO:HI",
+        help="instance seeds per size (default: just seed 0)",
+    )
+    parser.add_argument(
+        "--side",
+        type=float,
+        default=None,
+        metavar="L",
+        help="deployment square side (default: density-preserving per n)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="greedy",
+        choices=sorted(_solver_registry()),
+        help="construction algorithm (default: greedy)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "indexed", "bitset"),
+        help="graph kernel for the kernelized solvers (results are "
+        "identical under every kernel)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="cells running concurrently (each in its own process)",
+    )
+    _add_reliability_flags(parser)
+    _add_obs_flags(parser)
+    args = parser.parse_args(argv)
+
+    from .experiments.harness import Table
+    from .experiments.parallel import solve_cells_resilient, sweep_cells
+    from .obs import OBS
+
+    error = _validate_reliability_flags(args)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        ns = _parse_int_list(args.ns, "--ns")
+        seeds = _parse_int_list(args.seeds, "--seeds")
+        plan = _fault_plan(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cells = sweep_cells(ns, seeds, side=args.side)
+    kernel = None if args.kernel == "auto" else args.kernel
+
+    session = _ObsSession(args)
+    session.start()
+    try:
+        with session.profiled():
+            report = solve_cells_resilient(
+                cells,
+                algorithm=args.algorithm,
+                jobs=args.jobs,
+                kernel=kernel,
+                policy=_retry_policy(args),
+                faults=plan,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    session.stop_hooks()
+
+    table = Table(
+        title=f"sweep: {args.algorithm} (kernel={args.kernel})",
+        headers=("n", "seed", "cds", "dominators", "connectors", "attempts"),
+    )
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            continue
+        summary = outcome.result
+        table.add_row(
+            summary["n"],
+            summary["seed"],
+            summary["cds_size"],
+            summary["dominators"],
+            summary["connectors"],
+            outcome.attempts,
+        )
+        if session.wanted:
+            # Cell counters merge by the registry's rules (sums; mem.*
+            # peaks by max), so --trace/--stats-out report the sweep's
+            # merged operational counts — bit-identical however the
+            # sweep was scheduled, interrupted or resumed.
+            OBS.merge_state({"counters": summary["counters"]})
+    print(table.render())
+    if not report.ok:
+        print(report.render_failures(), file=sys.stderr)
+    print(
+        f"{len(report.results)}/{len(cells)} cell(s) ok "
+        f"({report.resumed} resumed, {report.retries} retried)"
+    )
+    _emit_obs(
+        args,
+        session,
+        algorithm=f"sweep:{args.algorithm}",
+        instance={
+            "ns": ns,
+            "seeds": seeds,
+            "side": args.side,
+            "kernel": args.kernel,
+            "cells": len(cells),
+        },
+        results={
+            "ok": len(report.results),
+            "failed": len(report.failures),
+            "resumed": report.resumed,
+            "retries": report.retries,
+        },
+    )
+    return 0 if report.ok else 1
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:

@@ -69,10 +69,45 @@ class Table:
             lines.append(",".join(_fmt(c) for c in row))
         return "\n".join(lines) + "\n"
 
+    # -- serialisation (checkpoint ledger) ----------------------------
+
+    def to_json_obj(self) -> dict:
+        """A JSON-ready dump whose round-trip renders identically.
+
+        Non-primitive cells are stringified — exactly what
+        :meth:`render` and :meth:`to_csv` would do to them anyway, so
+        a table restored from a sweep checkpoint prints byte-for-byte
+        the same (floats are kept as floats and re-formatted on
+        render).
+        """
+        return {
+            "title": self.title,
+            "headers": [_json_cell(h) for h in self.headers],
+            "rows": [[_json_cell(c) for c in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "Table":
+        table = cls(title=obj["title"], headers=list(obj["headers"]))
+        table.rows = [list(row) for row in obj["rows"]]
+        return table
+
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
+    return str(cell)
+
+
+def _json_cell(cell: object) -> object:
+    """JSON-safe cell: primitives pass through, anything else as str.
+
+    ``bool`` is checked before ``int`` only for clarity — both are
+    JSON-native; the ``str()`` fallback matches :func:`_fmt`'s
+    rendering of exotic cells, so serialisation never changes output.
+    """
+    if cell is None or isinstance(cell, (bool, int, float, str)):
+        return cell
     return str(cell)
 
 
@@ -93,6 +128,30 @@ class ExperimentResult:
             parts.append(self.notes)
         parts.extend(t.render() for t in self.tables)
         return "\n\n".join(parts)
+
+    # -- serialisation (checkpoint ledger) ----------------------------
+
+    def to_json_obj(self) -> dict:
+        """JSON-ready form for the sweep checkpoint ledger; the
+        round-trip preserves :meth:`render` output exactly (see
+        :meth:`Table.to_json_obj`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "passed": self.passed,
+            "notes": self.notes,
+            "tables": [t.to_json_obj() for t in self.tables],
+        }
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "ExperimentResult":
+        return cls(
+            experiment_id=obj["experiment_id"],
+            title=obj["title"],
+            tables=[Table.from_json_obj(t) for t in obj["tables"]],
+            passed=obj["passed"],
+            notes=obj.get("notes", ""),
+        )
 
 
 _REGISTRY: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {}

@@ -41,6 +41,7 @@ import os
 from functools import partial
 from typing import Callable, Iterable, NamedTuple, Sequence, TypeVar
 
+from ..reliability.failures import CellError
 from .harness import ExperimentResult, get_experiment
 from .instances import default_side
 
@@ -49,11 +50,15 @@ R = TypeVar("R")
 
 __all__ = [
     "SweepCell",
+    "cell_key",
     "sweep_cells",
     "parallel_map",
+    "merge_cell_counters",
     "solve_cell",
     "solve_cells",
+    "solve_cells_resilient",
     "run_experiments_parallel",
+    "run_experiments_resilient",
     "default_jobs",
 ]
 
@@ -92,9 +97,37 @@ def sweep_cells(
     return cells
 
 
+def cell_key(cell: SweepCell) -> str:
+    """The cell's stable identity string (checkpoint ledger key)."""
+    return f"n={cell.n};side={cell.side!r};seed={cell.seed}"
+
+
 def default_jobs() -> int:
     """A conservative default worker count: physical parallelism, capped."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+class _ContextWorker:
+    """Wraps a map worker so its exceptions name the failing item.
+
+    Picklable whenever the wrapped worker is, so the pool path gets the
+    same enrichment: an exception crossing the process boundary arrives
+    as a :class:`~repro.reliability.failures.CellError` carrying the
+    item's repr, its input index, and the worker-side traceback —
+    instead of a bare traceback with no cell identity.
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable):
+        self.worker = worker
+
+    def __call__(self, task: tuple[int, object]):
+        index, item = task
+        try:
+            return self.worker(item)
+        except Exception as exc:
+            raise CellError.wrap(item, index, exc) from exc
 
 
 def parallel_map(
@@ -108,15 +141,26 @@ def parallel_map(
     the items; results always come back in input order, so output is
     independent of scheduling.  ``worker`` must be picklable (a
     module-level function or a :func:`functools.partial` of one).
+
+    A worker exception aborts the map (fail-fast — this is the strict
+    primitive; see :func:`repro.reliability.run_cells` for the
+    fault-isolated one) but is re-raised as a
+    :class:`~repro.reliability.failures.CellError` naming the failing
+    item and its index, with the original exception chained in-process
+    and its traceback text preserved across the pool boundary.
     """
     items = list(items)
+    wrapped = _ContextWorker(worker)
+    tasks = list(enumerate(items))
     if jobs <= 1 or len(items) < 2:
-        return [worker(item) for item in items]
+        return [wrapped(task) for task in tasks]
     with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(worker, items)
+        return pool.map(wrapped, tasks)
 
 
-def solve_cell(cell: SweepCell, algorithm: str = "greedy") -> dict:
+def solve_cell(
+    cell: SweepCell, algorithm: str = "greedy", kernel: str | None = None
+) -> dict:
     """Worker: build the cell's connected UDG, solve it, count everything.
 
     Runs with instrumentation captured locally (safe under
@@ -128,18 +172,36 @@ def solve_cell(cell: SweepCell, algorithm: str = "greedy") -> dict:
          "counters": {...}}
 
     ``algorithm`` is a key of the CLI solver registry (``"greedy"``,
-    ``"waf"``, a baseline name, ...).
+    ``"waf"``, a baseline name, ...).  ``kernel`` optionally pins the
+    graph kernel of the kernelized solvers (``"indexed"`` /
+    ``"bitset"``; results are identical under every kernel) and is
+    echoed in the summary; ``None`` leaves the solver's default and
+    the summary shape exactly as before.
+
+    Raises:
+        ValueError: when ``kernel`` is given but ``algorithm`` does not
+            accept one (only waf/greedy are kernelized).
     """
+    import inspect
+
     from ..cli import _solver_registry
     from ..graphs.generators import random_connected_udg
     from ..obs import OBS
 
     solver = _solver_registry()[algorithm]
+    kwargs = {}
+    if kernel is not None:
+        if "kernel" not in inspect.signature(solver).parameters:
+            raise ValueError(
+                f"algorithm {algorithm!r} does not take a kernel "
+                "(only the kernelized solvers: waf, greedy)"
+            )
+        kwargs["kernel"] = kernel
     _, graph = random_connected_udg(cell.n, cell.side, seed=cell.seed)
     with OBS.capture() as reg:
-        result = solver(graph)
+        result = solver(graph, **kwargs)
         counters = reg.counters()
-    return {
+    summary = {
         "n": cell.n,
         "side": cell.side,
         "seed": cell.seed,
@@ -149,6 +211,9 @@ def solve_cell(cell: SweepCell, algorithm: str = "greedy") -> dict:
         "connectors": len(result.connectors),
         "counters": counters,
     }
+    if kernel is not None:
+        summary["kernel"] = kernel
+    return summary
 
 
 def solve_cells(
@@ -156,6 +221,59 @@ def solve_cells(
 ) -> list[dict]:
     """Map :func:`solve_cell` over a grid, one result dict per cell."""
     return parallel_map(partial(solve_cell, algorithm=algorithm), cells, jobs)
+
+
+def merge_cell_counters(results: Iterable[dict]) -> dict:
+    """Sum the per-cell ``counters`` of solve summaries, sorted by name.
+
+    The "merged obs counters" of a sweep: deterministic per grid
+    because each cell's counters are deterministic per seed, and
+    addition is order-independent — an interrupted-and-resumed sweep
+    merges to exactly the numbers of an uninterrupted one.
+    """
+    merged: dict[str, int | float] = {}
+    for summary in results:
+        for name, value in summary.get("counters", {}).items():
+            merged[name] = merged.get(name, 0) + value
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def solve_cells_resilient(
+    cells: Sequence[SweepCell],
+    algorithm: str = "greedy",
+    jobs: int = 1,
+    *,
+    kernel: str | None = None,
+    policy=None,
+    faults=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+):
+    """Fault-isolated :func:`solve_cells`: failures become data.
+
+    Runs the grid through :func:`repro.reliability.run_cells` (one
+    forked process per attempt): a cell that raises, stalls past the
+    policy's timeout, or dies outright yields a structured
+    :class:`~repro.reliability.failures.CellFailure` in its slot while
+    every other cell completes.  With ``checkpoint=...`` progress is
+    journalled per cell; ``resume=True`` re-runs only the missing
+    cells and the merged results/counters are bit-identical to an
+    uninterrupted run.  Returns the
+    :class:`~repro.reliability.runner.SweepReport`.
+    """
+    from ..reliability import run_cells
+
+    return run_cells(
+        partial(solve_cell, algorithm=algorithm, kernel=kernel),
+        cells,
+        jobs=jobs,
+        policy=policy,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
+        label=f"solve:{algorithm}:{kernel or 'auto'}",
+        key_fn=cell_key,
+    )
 
 
 def _run_experiment_worker(experiment_id: str) -> ExperimentResult:
@@ -239,3 +357,67 @@ def run_experiments_parallel(
         for index, eid in enumerate(canonical)
     ]
     return parallel_map(_run_experiment_worker_obs, tasks, jobs)
+
+
+def _run_experiment_worker_record(task: tuple[str, bool]) -> dict:
+    """Checkpointable worker: one experiment, JSON-ready outcome.
+
+    Returns ``{"result": <ExperimentResult json>, "state": <registry
+    state or None>}`` — everything JSON-serialisable, so the resilient
+    runner can journal it into the checkpoint ledger verbatim and a
+    resumed sweep replays both the tables *and* the merged counters
+    bit-identically.
+    """
+    experiment_id, collect_obs = task
+    fn = get_experiment(experiment_id)
+    if not collect_obs:
+        return {"result": fn().to_json_obj(), "state": None}
+    from ..obs import OBS
+
+    with OBS.capture() as reg:
+        with reg.time(f"experiment.{experiment_id}"):
+            result = fn()
+        state = reg.export_state()
+    return {"result": result.to_json_obj(), "state": state}
+
+
+def _experiment_task_key(task: tuple[str, bool]) -> str:
+    return task[0]
+
+
+def run_experiments_resilient(
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    *,
+    collect_obs: bool = False,
+    policy=None,
+    faults=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+):
+    """Fault-isolated, checkpointable :func:`run_experiments_parallel`.
+
+    Each experiment runs in its own forked process; a crashing or
+    overdue one becomes a structured failure in its slot instead of
+    killing the batch, and with ``checkpoint=`` / ``resume=True`` an
+    interrupted batch picks up where the ledger ends.  Returns the
+    :class:`~repro.reliability.runner.SweepReport` whose successful
+    outcomes carry ``{"result": <ExperimentResult json>, "state":
+    <registry state or None>}`` payloads — decode with
+    :meth:`repro.experiments.harness.ExperimentResult.from_json_obj`
+    and merge states with :meth:`repro.obs.Registry.merge_state`.
+    """
+    from ..reliability import run_cells
+
+    canonical = [get_experiment(eid).experiment_id for eid in experiment_ids]
+    return run_cells(
+        _run_experiment_worker_record,
+        [(eid, collect_obs) for eid in canonical],
+        jobs=jobs,
+        policy=policy,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
+        label="experiments",
+        key_fn=_experiment_task_key,
+    )

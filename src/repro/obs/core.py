@@ -137,6 +137,11 @@ class SpanHook:
     ``begin`` may return a token (any object); it is passed back to
     ``end`` along with the measured duration, letting a hook carry
     per-span state without keeping its own stack in sync.
+
+    ``note`` is the point-event channel: :meth:`Registry.note` fans an
+    instantaneous, structured observation (a retry, a cell failure —
+    see :mod:`repro.reliability`) out to every hook.  The default is a
+    no-op so span-only hooks ignore it.
     """
 
     __slots__ = ()
@@ -146,6 +151,9 @@ class SpanHook:
 
     def end(self, name: str, token: object, seconds: float) -> None:
         """Called after the span's timer recorded ``seconds``."""
+
+    def note(self, name: str, data: dict) -> None:
+        """Called for point events (no duration, structured payload)."""
 
 
 class _HookedSpan(Span):
@@ -251,6 +259,20 @@ class Registry:
         if t is None:
             t = self._timers[name] = Timer(name)
         return t
+
+    def note(self, name: str, data: dict | None = None) -> None:
+        """Emit an instantaneous structured event to the attached hooks.
+
+        The point-event counterpart of :meth:`time`: no duration, no
+        timer — just a name and a JSON-ready payload, delivered to
+        every :class:`SpanHook` (the event stream records it as a
+        ``note`` line; span-only hooks ignore it).  Dropped while the
+        registry is disabled, like everything else.
+        """
+        if not self.enabled:
+            return
+        for hook in self._hooks:
+            hook.note(name, dict(data or {}))
 
     def time(self, name: str) -> Span:
         """A span recording into timer ``name``; no-op when disabled.

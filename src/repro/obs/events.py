@@ -31,6 +31,14 @@ Each event is one JSON object on its own line:
        "t": 0.003501, "dur": 0.002688,
        "counters": {"gain.evaluations": 982, ...}, "worker": 0, "seq": 4}
 
+* a **note** is an instantaneous structured observation with no
+  duration — the reliability layer emits one per retry and per
+  terminal cell failure (:meth:`repro.obs.core.Registry.note`)::
+
+      {"type": "note", "name": "reliability.failure",
+       "data": {"cell": "n=20;side=3.8;seed=1", "kind": "crash", ...},
+       "t": 0.1102, "worker": 0, "seq": 7}
+
 ``seq`` is the event's position in its own log and ``worker`` the
 producing worker's index (0 for a single-process run); together they
 make :func:`merge_events` deterministic.  Timestamps come from
@@ -75,7 +83,7 @@ __all__ = [
 #: Version tag carried by every log's run header; bump on shape change.
 EVENT_SCHEMA_ID = "repro.obs/event/v1"
 
-_EVENT_TYPES = ("run", "begin", "end")
+_EVENT_TYPES = ("run", "begin", "end", "note")
 
 
 def _default_run_id() -> str:
@@ -163,6 +171,18 @@ class EventLog(SpanHook):
             }
         )
 
+    def note(self, name: str, data: dict) -> None:
+        self.events.append(
+            {
+                "type": "note",
+                "name": name,
+                "data": data,
+                "t": perf_counter() - self._t0,
+                "worker": self.worker,
+                "seq": len(self.events),
+            }
+        )
+
     # -- output -------------------------------------------------------
 
     def write(self, path: str | Path) -> None:
@@ -201,6 +221,13 @@ def validate_events(events: Sequence[dict]) -> list[str]:
                     f"event {i}: unknown event schema {schema!r} "
                     f"(expected {EVENT_SCHEMA_ID!r})"
                 )
+            continue
+        if kind == "note":
+            for key in ("name", "t"):
+                if key not in ev:
+                    errors.append(f"event {i} (note): missing {key!r}")
+            if not isinstance(ev.get("data", None), dict):
+                errors.append(f"event {i} (note): 'data' must be an object")
             continue
         for key in ("span", "name", "t"):
             if key not in ev:
@@ -269,6 +296,7 @@ class SpanNode:
     duration: float | None = None
     counters: dict = field(default_factory=dict)
     children: list["SpanNode"] = field(default_factory=list)
+    notes: list[dict] = field(default_factory=list)
 
     def walk(self):
         """This node, then every descendant, depth-first."""
@@ -319,4 +347,14 @@ def replay(events: Sequence[dict]) -> list[SpanNode]:
             node = stack.pop()
             node.duration = ev["dur"]
             node.counters = dict(ev.get("counters", {}))
+        elif kind == "note":
+            # A note attaches to its worker's innermost open span;
+            # notes emitted outside any span are not part of the
+            # forest (read them straight off the event list).
+            worker = ev.get("worker", 0)
+            stack = stacks.setdefault(worker, [])
+            if stack:
+                stack[-1].notes.append(
+                    {"name": ev["name"], "t": ev["t"], **ev.get("data", {})}
+                )
     return roots

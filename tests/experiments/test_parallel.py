@@ -7,23 +7,35 @@ runner (using the cheapest registered experiments to keep the forked
 runs fast).
 """
 
+import pickle
+
 import pytest
 
 from repro.experiments.instances import default_side
 from repro.experiments.parallel import (
     SweepCell,
+    cell_key,
     default_jobs,
+    merge_cell_counters,
     parallel_map,
     run_experiments_parallel,
     solve_cell,
     solve_cells,
+    solve_cells_resilient,
     sweep_cells,
 )
+from repro.reliability import CellError
 
 
 def _square(x):
     """Module-level so it pickles across pool workers."""
     return x * x
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise ZeroDivisionError("boom on two")
+    return x
 
 
 class TestParallelMap:
@@ -43,6 +55,49 @@ class TestParallelMap:
 
     def test_default_jobs_is_sane(self):
         assert default_jobs() >= 1
+
+
+class TestCellErrorContext:
+    """Regression: a worker exception must name the failing cell.
+
+    Before the reliability PR a pool-worker exception surfaced as a
+    bare traceback with no indication of *which* item died; now both
+    the serial and pool paths raise a :class:`CellError` carrying the
+    item repr, its input index, and the worker-side traceback.
+    """
+
+    def test_serial_path_wraps_with_context(self):
+        with pytest.raises(CellError) as excinfo:
+            parallel_map(_fail_on_two, [1, 2, 3])
+        err = excinfo.value
+        assert err.index == 1
+        assert err.item_repr == "2"
+        assert err.error_type == "ZeroDivisionError"
+        assert "boom on two" in str(err)
+        assert "_fail_on_two" in err.worker_traceback
+        assert isinstance(err.__cause__, ZeroDivisionError)
+
+    def test_pool_path_wraps_with_context(self):
+        with pytest.raises(CellError) as excinfo:
+            parallel_map(_fail_on_two, [1, 2, 3], jobs=2)
+        err = excinfo.value
+        assert err.index == 1
+        assert err.item_repr == "2"
+        assert err.error_type == "ZeroDivisionError"
+        assert "_fail_on_two" in err.worker_traceback
+
+    def test_cell_error_survives_pickling_intact(self):
+        try:
+            parallel_map(_fail_on_two, [1, 2, 3])
+        except CellError as err:
+            clone = pickle.loads(pickle.dumps(err))
+            assert clone.index == err.index
+            assert clone.item_repr == err.item_repr
+            assert clone.error_type == err.error_type
+            assert clone.worker_traceback == err.worker_traceback
+            assert str(clone) == str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected CellError")
 
 
 class TestSweepCells:
@@ -78,6 +133,41 @@ class TestSolveCells:
         serial = solve_cells(cells, algorithm=algorithm, jobs=1)
         parallel = solve_cells(cells, algorithm=algorithm, jobs=2)
         assert serial == parallel  # counters included, order included
+
+    def test_cell_key_unique_per_grid(self):
+        cells = sweep_cells([10, 14], [1, 2], side=3.2)
+        assert len({cell_key(c) for c in cells}) == len(cells)
+
+    def test_kernel_pinned_and_echoed(self):
+        cell = SweepCell(12, 3.0, 5)
+        auto = solve_cell(cell, algorithm="greedy")
+        pinned = solve_cell(cell, algorithm="greedy", kernel="bitset")
+        assert pinned["kernel"] == "bitset"
+        assert "kernel" not in auto  # shape unchanged without pinning
+        assert pinned["cds_size"] == auto["cds_size"]
+
+    def test_kernel_rejected_for_unkernelized_solver(self):
+        with pytest.raises(ValueError, match="does not take a kernel"):
+            solve_cell(SweepCell(10, 3.0, 0), algorithm="steiner", kernel="bitset")
+
+    def test_resilient_matches_plain_solve_cells(self):
+        cells = sweep_cells([10, 14], [1, 2], side=3.2)
+        plain = solve_cells(cells, algorithm="greedy", jobs=1)
+        report = solve_cells_resilient(cells, algorithm="greedy", jobs=2)
+        assert report.ok
+        assert report.results == plain
+        assert merge_cell_counters(report.results) == merge_cell_counters(plain)
+
+    def test_merge_cell_counters_sums_and_sorts(self):
+        merged = merge_cell_counters(
+            [
+                {"counters": {"b": 2, "a": 1}},
+                {"counters": {"a": 3}},
+                {},  # a summary without counters is fine
+            ]
+        )
+        assert merged == {"a": 4, "b": 2}
+        assert list(merged) == ["a", "b"]
 
 
 class TestRunExperimentsParallel:

@@ -97,6 +97,80 @@ class TestEventEmission:
         assert [e["type"] for e in log.events] == ["run"]
 
 
+class TestNoteEvents:
+    def make_noted_log(self):
+        reg = Registry(enabled=True)
+        log = EventLog(reg, run_id="noted", worker=0)
+        reg.add_hook(log)
+        with reg.time("outer"):
+            reg.note("reliability.retry", {"cell": "n=10;seed=1", "attempt": 1})
+        reg.note("reliability.failure", {"cell": "n=10;seed=2", "kind": "crash"})
+        reg.remove_hook(log)
+        return reg, log
+
+    def test_note_event_shape(self):
+        _, log = self.make_noted_log()
+        notes = [e for e in log.events if e["type"] == "note"]
+        assert [n["name"] for n in notes] == [
+            "reliability.retry", "reliability.failure",
+        ]
+        for note in notes:
+            assert isinstance(note["data"], dict)
+            assert note["t"] >= 0
+            assert note["seq"] == log.events.index(note)
+        assert validate_events(log.events) == []
+
+    def test_note_outside_hooks_or_disabled_is_dropped(self):
+        reg = Registry(enabled=True)
+        log = EventLog(reg)
+        reg.note("unhooked", {})
+        reg.add_hook(log)
+        reg.disable()
+        reg.note("disabled", {})
+        assert [e["type"] for e in log.events] == ["run"]
+
+    def test_note_defaults_to_empty_data(self):
+        reg = Registry(enabled=True)
+        log = EventLog(reg)
+        reg.add_hook(log)
+        reg.note("bare")
+        (note,) = [e for e in log.events if e["type"] == "note"]
+        assert note["data"] == {}
+
+    def test_replay_attaches_notes_to_innermost_open_span(self):
+        _, log = self.make_noted_log()
+        (root,) = replay(log.events)
+        assert root.name == "outer"
+        (attached,) = root.notes
+        assert attached["name"] == "reliability.retry"
+        assert attached["cell"] == "n=10;seed=1"
+        # The span-less note is not in the forest but stays readable
+        # straight off the event list.
+        assert any(
+            e["type"] == "note" and e["name"] == "reliability.failure"
+            for e in log.events
+        )
+
+    def test_note_round_trips_through_jsonl(self, tmp_path):
+        _, log = self.make_noted_log()
+        path = tmp_path / "noted.jsonl"
+        log.write(path)
+        assert read_events(path) == json.loads(json.dumps(log.events))
+
+    def test_validation_rejects_malformed_notes(self):
+        _, log = self.make_noted_log()
+        events = [dict(e) for e in log.events]
+        for e in events:
+            if e["type"] == "note":
+                e["data"] = "not-a-dict"
+        assert any("data" in err for err in validate_events(events))
+        events = [dict(e) for e in log.events]
+        for e in events:
+            if e["type"] == "note":
+                del e["name"]
+        assert any("name" in err for err in validate_events(events))
+
+
 class TestZeroNewCallSites:
     def test_existing_solver_sites_emit_events(self, medium_udg):
         """The greedy's trace() sites stream events with no solver change."""

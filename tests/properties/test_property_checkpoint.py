@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the checkpoint ledger.
+
+The resume guarantee reduces to three properties of the JSONL journal:
+write→read is lossless for arbitrary JSON-ready payloads, the resume
+set is always exactly ``grid − completed``, and damage (a partial
+trailing line, duplicates) is either repaired safely or rejected —
+never silently merged.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reliability import (
+    CheckpointWriter,
+    grid_fingerprint,
+    read_checkpoint,
+    repair_trailing_line,
+)
+
+#: Cell keys: non-empty, unique, printable (the runner enforces
+#: uniqueness; keys are arbitrary strings otherwise).
+keys_strategy = st.lists(
+    st.text(
+        alphabet=st.characters(codec="utf-8", exclude_characters="\n\r"),
+        min_size=1,
+        max_size=30,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+#: JSON-ready result payloads (what encode() hands the writer).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+attempts_strategy = st.integers(min_value=1, max_value=5)
+
+
+class TestLedgerRoundTrip:
+    @given(keys=keys_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_write_read_lossless(self, tmp_path_factory, keys, data):
+        completed = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        payloads = {
+            key: data.draw(json_values, label=f"result[{key}]")
+            for key in completed
+        }
+        attempts = {key: data.draw(attempts_strategy) for key in completed}
+        path = tmp_path_factory.mktemp("ledger") / "c.jsonl"
+        with CheckpointWriter(path, keys=keys, label="prop") as writer:
+            for key in completed:
+                writer.record_cell(key, payloads[key], attempts[key])
+        ledger = read_checkpoint(path)
+        assert not ledger.truncated
+        assert ledger.fingerprint == grid_fingerprint(keys, "prop")
+        assert set(ledger.cells) == set(completed)
+        for key in completed:
+            assert ledger.result(key) == payloads[key]
+            assert ledger.attempts(key) == attempts[key]
+
+    @given(keys=keys_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_resume_set_is_grid_minus_completed(self, tmp_path_factory, keys, data):
+        completed = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        path = tmp_path_factory.mktemp("ledger") / "c.jsonl"
+        with CheckpointWriter(path, keys=keys, label="prop") as writer:
+            for key in completed:
+                writer.record_cell(key, {"k": key}, 1)
+        missing = read_checkpoint(path).missing(keys)
+        assert missing == [k for k in keys if k not in set(completed)]
+        assert set(missing) | set(completed) == set(keys)
+        assert not set(missing) & set(completed)
+
+
+class TestLedgerDamage:
+    @given(
+        keys=keys_strategy,
+        cut=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_tail_never_loses_complete_cells(
+        self, tmp_path_factory, keys, cut
+    ):
+        """Chop bytes off the end: reads still yield every intact line."""
+        path = tmp_path_factory.mktemp("ledger") / "c.jsonl"
+        with CheckpointWriter(path, keys=keys, label="prop") as writer:
+            for key in keys:
+                writer.record_cell(key, {"k": key}, 1)
+        data = path.read_bytes()
+        intact = data[: len(data) - min(cut, len(data))]
+        surviving_lines = intact.count(b"\n")
+        if surviving_lines == 0:
+            return  # header gone: read_checkpoint rightly refuses
+        path.write_bytes(intact)
+        ledger = read_checkpoint(path)
+        # Every cell whose line (with newline) survived intact is there.
+        assert len(ledger.cells) == surviving_lines - 1
+        for key in ledger.cells:
+            assert ledger.result(key) == {"k": key}
+        # Repair then re-read: the partial tail is gone for good.
+        repair_trailing_line(path)
+        assert not read_checkpoint(path).truncated
+
+    @given(keys=keys_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_cell_lines_rejected(self, tmp_path_factory, keys):
+        path = tmp_path_factory.mktemp("ledger") / "c.jsonl"
+        with CheckpointWriter(path, keys=keys, label="prop") as writer:
+            for key in keys:
+                writer.record_cell(key, 1, 1)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            read_checkpoint(path)

@@ -1,0 +1,158 @@
+"""Chaos suite: seeded faults across solvers and kernels.
+
+Every cell of a chaotic sweep must end in exactly one of
+``{result, CellFailure}`` — never both, never neither, never a hung or
+crashed sweep — and the ``reliability.*`` counters must replay exactly
+per fault seed.  The quick drills below run in CI on every push; the
+long soak is ``@pytest.mark.slow`` (the repo's scaling-tier lane).
+"""
+
+import pytest
+
+from repro.experiments.parallel import solve_cells_resilient, sweep_cells
+from repro.obs import OBS
+from repro.reliability import FAILURE_KINDS, FaultPlan, FaultSpec, RetryPolicy
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_registry():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+GRID = sweep_cells([10, 13], [0, 1], side=3.2)
+
+#: Solver × kernel combinations under chaos (kernel=None for the
+#: non-kernelized steiner solver; waf/greedy pin both kernels).
+COMBOS = [
+    ("waf", "indexed"),
+    ("waf", "bitset"),
+    ("greedy", "indexed"),
+    ("greedy", "bitset"),
+    ("steiner", None),
+]
+
+#: A mixed storm: partial-rate raises anywhere, plus deterministic
+#: kills of one cell's UDG build.
+STORM = FaultPlan(
+    seed=42,
+    specs=(
+        FaultSpec(site="*", action="raise", rate=0.08),
+        FaultSpec(site="udg.grid.build", action="kill", scope="*n=13*seed=1*"),
+    ),
+)
+
+
+def run_chaos(algorithm, kernel, plan, jobs=2, retries=0):
+    return solve_cells_resilient(
+        GRID, algorithm=algorithm, jobs=jobs, kernel=kernel,
+        faults=plan, policy=RetryPolicy(retries=retries, seed=plan.seed),
+    )
+
+
+def outcome_signature(report):
+    """What must replay exactly: per-cell fate + failure classification."""
+    return [
+        (o.key, o.ok, o.attempts,
+         None if o.ok else (o.failure.kind, o.failure.error_type))
+        for o in report.outcomes
+    ]
+
+
+class TestChaosInvariants:
+    @pytest.mark.parametrize("algorithm,kernel", COMBOS)
+    def test_every_cell_ends_in_exactly_one_state(self, algorithm, kernel):
+        report = run_chaos(algorithm, kernel, STORM)
+        assert len(report.outcomes) == len(GRID)
+        for outcome in report.outcomes:
+            has_result = outcome.result is not None
+            has_failure = outcome.failure is not None
+            assert has_result != has_failure  # exactly one of the two
+            assert outcome.attempts >= 1
+            if has_failure:
+                assert outcome.failure.kind in FAILURE_KINDS
+        # The kill spec guarantees at least one crash in every combo.
+        assert any(f.kind == "crash" for f in report.failures)
+
+    @pytest.mark.parametrize("algorithm,kernel", COMBOS[:2] + COMBOS[-1:])
+    def test_outcomes_deterministic_per_seed(self, algorithm, kernel):
+        first = run_chaos(algorithm, kernel, STORM, jobs=2)
+        again = run_chaos(algorithm, kernel, STORM, jobs=1)  # width invisible
+        assert outcome_signature(first) == outcome_signature(again)
+        assert first.results == again.results
+
+    def test_different_seed_different_storm(self):
+        a = run_chaos("greedy", "indexed", STORM)
+        b = run_chaos(
+            "greedy", "indexed",
+            FaultPlan(seed=43, specs=STORM.specs),
+        )
+        assert outcome_signature(a) != outcome_signature(b)
+
+    def test_reliability_counters_deterministic_per_seed(self):
+        def counters_for(run):
+            OBS.reset()
+            OBS.enable()
+            run()
+            counters = OBS.counters()
+            OBS.disable()
+            return {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("reliability.")
+            }
+
+        first = counters_for(
+            lambda: run_chaos("greedy", "indexed", STORM, jobs=2, retries=1)
+        )
+        again = counters_for(
+            lambda: run_chaos("greedy", "indexed", STORM, jobs=1, retries=1)
+        )
+        assert first == again
+        assert first["reliability.failures"] == first.get(
+            "reliability.failures.exception", 0
+        ) + first.get("reliability.failures.crash", 0) + first.get(
+            "reliability.failures.timeout", 0
+        )
+
+    def test_surviving_results_match_clean_run(self):
+        clean = solve_cells_resilient(GRID, algorithm="greedy", kernel="indexed")
+        chaotic = run_chaos("greedy", "indexed", STORM)
+        clean_by_key = {o.key: o.result for o in clean.outcomes}
+        for outcome in chaotic.outcomes:
+            if outcome.ok:
+                assert outcome.result == clean_by_key[outcome.key]
+
+
+@pytest.mark.slow
+class TestChaosSoak:
+    """Long-running storm across a larger grid and every combo."""
+
+    SOAK_GRID = sweep_cells([20, 30, 40], [0, 1, 2], side=None)
+
+    @pytest.mark.parametrize("algorithm,kernel", COMBOS)
+    def test_soak_storm_replays_exactly(self, algorithm, kernel):
+        plan = FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(site="*", action="raise", rate=0.05),
+                FaultSpec(site="mis.first_fit", action="kill", scope="*seed=2*"),
+                FaultSpec(site="*.phase2", action="raise", rate=0.3),
+            ),
+        )
+
+        def run():
+            return solve_cells_resilient(
+                self.SOAK_GRID, algorithm=algorithm, jobs=4, kernel=kernel,
+                faults=plan, policy=RetryPolicy(retries=2, seed=plan.seed),
+            )
+
+        first, again = run(), run()
+        assert outcome_signature(first) == outcome_signature(again)
+        assert first.results == again.results
+        assert first.retries == again.retries
+        for outcome in first.outcomes:
+            assert (outcome.result is None) != (outcome.failure is None)
