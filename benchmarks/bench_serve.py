@@ -1,0 +1,202 @@
+"""Benchmark the solve daemon and export ``BENCH_serve.json``.
+
+A plain script in the mould of ``bench_to_json.py``: for each serving
+fixture it boots a fresh in-process daemon (:class:`repro.serve.
+ServerThread`), drives the deterministic load generator at a fixed
+offered load over a fixed instance grid, and records throughput,
+client-side latency percentiles (p50 as ``meta.seconds_median``, so the
+``bench compare`` time gate watches serving latency) and the cache-hit
+rate.  Every response is schema-validated and audited for the
+bit-identical cache contract as part of the run.
+
+The committed counters are the *deterministic* subset of the serving
+metrics — offered requests and unique cells solved.  The latter is
+guaranteed by the cache + single-flight design (each unique instance is
+solved exactly once, however the concurrent arrivals interleave) and
+asserted before the file is written, so the zero-budget counter gate of
+``python -m repro bench compare`` covers serving too: a PR that breaks
+coalescing or cache keying shows up as counter drift, not just noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py                # repo root
+    PYTHONPATH=src python benchmarks/bench_serve.py -o out.json --jobs 2
+    PYTHONPATH=src python benchmarks/bench_serve.py --fixtures udg60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from bench_to_json import FIXTURES, _git_commit, _positive_int
+
+from repro import __version__
+from repro.obs.trend import BENCH_SCHEMA_ID as SCHEMA_ID
+from repro.serve import ServeConfig, ServerThread, request_sequence, run_load
+
+#: Offered load per fixture: unique instance seeds, total requests and
+#: client concurrency.  Requests exceed the unique grid several-fold on
+#: purpose — repeats are what exercise the cache and the single-flight
+#: path, and the resulting hit rate is part of the record.
+SERVE_CASES: dict[str, dict[str, int]] = {
+    "udg60": {"unique_seeds": 8, "requests": 200, "concurrency": 8},
+    "udg150": {"unique_seeds": 8, "requests": 200, "concurrency": 8},
+    "udg1000": {"unique_seeds": 4, "requests": 30, "concurrency": 4},
+}
+
+DEFAULT_FIXTURES = ("udg60", "udg150", "udg1000")
+
+
+def run_serve_case(fixture: str, jobs: int) -> dict:
+    """Serve one fixture's load; return the bench run record."""
+    n, side, _ = FIXTURES[fixture]
+    case = SERVE_CASES[fixture]
+    unique = case["unique_seeds"]
+    sequence = request_sequence(
+        [n],
+        list(range(1, unique + 1)),
+        case["requests"],
+        side=side,
+        rng_seed=n,  # fixed per fixture: the mix is part of the benchmark
+    )
+    config = ServeConfig(jobs=jobs)
+    with ServerThread(config) as thread:
+        report = run_load(
+            thread.address, sequence, concurrency=case["concurrency"]
+        )
+        stats = thread.server.stats.snapshot(thread.server.cache)
+    if not report["ok"]:
+        raise RuntimeError(
+            f"{fixture}: load audit failed "
+            f"({report['errors']} errors, "
+            f"{len(report['schema_violations'])} schema violations, "
+            f"{len(report['identity_violations'])} identity violations)"
+        )
+    if stats["cells_solved"] != unique:
+        # The committed counters must be deterministic; cells_solved is
+        # only so while every unique instance solves exactly once.
+        raise RuntimeError(
+            f"{fixture}: expected {unique} unique solves, daemon reports "
+            f"{stats['cells_solved']} — cache/single-flight regression?"
+        )
+    latency = report["latency_seconds"]
+    return {
+        "schema": "repro.obs/run-record/v1",
+        "algorithm": f"serve/{fixture}",
+        "instance": {
+            "fixture": fixture,
+            "n": n,
+            "side": side,
+            "unique_seeds": unique,
+            "requests": case["requests"],
+            "concurrency": case["concurrency"],
+            "jobs": jobs,
+        },
+        "seed": n,
+        "counters": {
+            "serve.requests": case["requests"],
+            "serve.cells.solved": unique,
+        },
+        "timings": {
+            "serve.request": {
+                "seconds": latency["mean"] * latency["count"],
+                "count": latency["count"],
+            }
+        },
+        "results": {
+            "requests_per_second": report["requests_per_second"],
+            "cache_hit_rate": report["server"]["cache_hit_rate"],
+            "errors": report["errors"],
+            "batches": stats["batches"],
+            "batch_max": stats["batch_max"],
+            "coalesced": stats["coalesced"],
+        },
+        "meta": {
+            "seconds_median": latency["p50"],
+            "seconds_mean": latency["mean"],
+            "seconds_p90": latency["p90"],
+            "seconds_p99": latency["p99"],
+            "seconds_max": latency["max"],
+            "requests_per_second": report["requests_per_second"],
+            "cache_hit_rate": report["server"]["cache_hit_rate"],
+        },
+    }
+
+
+def build_serve_baseline(fixtures: list[str], jobs: int) -> dict:
+    runs = []
+    for fixture in fixtures:
+        if fixture not in SERVE_CASES:
+            raise KeyError(
+                f"unknown serve fixture {fixture!r}; known: "
+                f"{sorted(SERVE_CASES)}"
+            )
+        print(f"serving {fixture} ...", flush=True)
+        runs.append(run_serve_case(fixture, jobs))
+    return {
+        "schema": SCHEMA_ID,
+        "version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": _git_commit(),
+        "cases": {name: dict(SERVE_CASES[name]) for name in fixtures},
+        "fixtures": {
+            name: {
+                "n": FIXTURES[name][0],
+                "side": FIXTURES[name][1],
+                "seed": FIXTURES[name][2],
+            }
+            for name in fixtures
+        },
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the solve daemon into a BENCH_*.json."
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        default="BENCH_serve.json",
+        help="output path (default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--fixtures",
+        default=",".join(DEFAULT_FIXTURES),
+        help="comma-separated serving fixtures "
+        f"(default: {','.join(DEFAULT_FIXTURES)})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="daemon solver processes per batch (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    fixtures = [f for f in args.fixtures.split(",") if f.strip()]
+    baseline = build_serve_baseline(fixtures, args.jobs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    for run in baseline["runs"]:
+        meta = run["meta"]
+        print(
+            f"{run['algorithm']}: "
+            f"{meta['requests_per_second']:.0f} req/s, "
+            f"p50 {meta['seconds_median'] * 1e3:.2f}ms, "
+            f"p99 {meta['seconds_p99'] * 1e3:.2f}ms, "
+            f"hit rate {meta['cache_hit_rate']:.0%}"
+        )
+    print(f"wrote {args.out} ({len(baseline['runs'])} serve case(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

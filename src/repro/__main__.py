@@ -1,5 +1,12 @@
-"""``python -m repro`` delegates to the CLI."""
+"""``python -m repro`` delegates to the CLI.
 
-from .cli import main
+The ``__main__`` guard is load-bearing: spawn/forkserver
+``multiprocessing`` workers (the solve daemon's pool) re-import the
+main module during bootstrap, and an unguarded entry point would run
+the whole CLI inside every worker.
+"""
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    from .cli import main
+
+    raise SystemExit(main())

@@ -61,6 +61,21 @@ A fourth mode, **bench**, compares committed benchmark snapshots and
 gates on regressions (see ``docs/performance.md`` §7)::
 
       python -m repro bench compare BENCH_baseline.json BENCH_pr3.json
+
+A fifth mode, **serve**, runs the long-lived solve daemon — newline-
+delimited JSON over TCP or a Unix socket, request batching through the
+sweep machinery, and a fingerprint-keyed result cache whose hits are
+bit-identical to cold solves (see ``docs/serving.md``) — with
+**serve-client** as the matching one-shot client / load generator::
+
+      python -m repro serve --port 7533 --jobs 4 --trace
+      python -m repro serve-client --connect 127.0.0.1:7533 --n 60 --seed 2
+      python -m repro serve-client --connect 127.0.0.1:7533 --stats
+      python -m repro serve-client --connect 127.0.0.1:7533 --loadgen \
+          --ns 60 --seeds 0:8 --requests 200 --out report.json
+      python -m repro serve-client --connect 127.0.0.1:7533 --shutdown
+
+Where each mode sits in the stack: ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -109,6 +124,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _sweep_main(args[1:])
     if args and args[0] == "bench":
         return _bench_main(args[1:])
+    if args and args[0] == "serve":
+        return _serve_main(args[1:])
+    if args and args[0] == "serve-client":
+        return _serve_client_main(args[1:])
     return _experiments_main(args)
 
 
@@ -124,6 +143,318 @@ def _bench_main(argv: Sequence[str]) -> int:
     from .obs.trend import main as trend_main
 
     return trend_main(argv[1:])
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    """``python -m repro serve``: run the solve daemon until drained."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cds serve",
+        description=(
+            "Run the long-lived solve daemon: newline-delimited JSON "
+            "requests over TCP or a Unix socket, batched through the "
+            "sweep machinery, with a fingerprint-keyed result cache "
+            "whose hits are bit-identical to cold solves "
+            "(docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default: loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7533,
+        metavar="N",
+        help="TCP port; 0 lets the OS pick (default: 7533)",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a Unix socket at PATH instead of TCP",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="solver processes per batch (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="how long the batcher waits to coalesce arrivals "
+        "(default: 0.005)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=32,
+        metavar="N",
+        help="hard batch-size cap (default: 32)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU result-cache entries; 0 disables caching "
+        "(default: 1024)",
+    )
+    _add_obs_flags(parser)
+    args = parser.parse_args(argv)
+
+    from .serve import ServeConfig, run_server
+
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            jobs=args.jobs,
+            batch_window=args.batch_window,
+            batch_max=args.batch_max,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    def on_ready(server) -> None:
+        address = server.address
+        rendered = (
+            address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+        )
+        print(
+            f"serving on {rendered} (jobs={args.jobs}, "
+            f"batch-window={args.batch_window}s, batch-max={args.batch_max}, "
+            f"cache={args.cache_size})",
+            flush=True,
+        )
+
+    session = _ObsSession(args)
+    session.start()
+    with session.profiled():
+        server = run_server(config, on_ready=on_ready)
+    # Fold the daemon's lifetime metrics (serve.* counters/timers plus
+    # the merged solver counters) into the registry before draining the
+    # session, so --trace/--stats-out describe the whole serving run.
+    if session.wanted:
+        server.emit_obs()
+    session.stop_hooks()
+    snapshot = server.stats.snapshot(server.cache)
+    cache = snapshot["cache"]
+    print(
+        f"drained: {snapshot['requests']} request(s), "
+        f"{snapshot['cells_solved']} cell(s) solved, "
+        f"{cache['hits']} cache hit(s), {snapshot['errors']} error(s)"
+    )
+    _emit_obs(
+        args,
+        session,
+        algorithm="serve",
+        instance={
+            "host": args.host,
+            "port": args.port,
+            "socket": args.socket,
+            "jobs": args.jobs,
+            "batch_window": args.batch_window,
+            "batch_max": args.batch_max,
+            "cache_size": args.cache_size,
+        },
+        results=snapshot,
+    )
+    return 0
+
+
+def _serve_client_main(argv: Sequence[str]) -> int:
+    """``python -m repro serve-client``: one-shot client / load driver."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cds serve-client",
+        description=(
+            "Talk to a running solve daemon: one solve, a control op "
+            "(--ping/--stats/--shutdown), or a deterministic load run "
+            "(--loadgen) that audits every response against the schema "
+            "and the bit-identical cache contract."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help="daemon address: HOST:PORT or a Unix-socket path",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="socket timeout (default: 60)",
+    )
+    ops = parser.add_mutually_exclusive_group()
+    ops.add_argument(
+        "--ping", action="store_true", help="liveness probe, print the ack"
+    )
+    ops.add_argument(
+        "--stats", action="store_true", help="print the daemon's metrics JSON"
+    )
+    ops.add_argument(
+        "--shutdown", action="store_true", help="ask the daemon to drain"
+    )
+    ops.add_argument(
+        "--loadgen",
+        action="store_true",
+        help="drive the deterministic load generator (see --requests/--ns)",
+    )
+    parser.add_argument(
+        "--n", type=_positive_int, default=None, metavar="N",
+        help="solve one random connected UDG instance of this size",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="instance seed for --n (default: 0)",
+    )
+    parser.add_argument(
+        "--side", type=float, default=None, metavar="L",
+        help="deployment square side (default: density-preserving)",
+    )
+    parser.add_argument(
+        "--algorithm", default="greedy",
+        choices=sorted(_solver_registry()),
+        help="construction algorithm (default: greedy)",
+    )
+    parser.add_argument(
+        "--kernel", default="auto", choices=("auto", "indexed", "bitset"),
+        help="graph kernel for the kernelized solvers",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ask the daemon to bypass its result cache for this request",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw response JSON instead of the summary line",
+    )
+    parser.add_argument(
+        "--ns", default="60", metavar="N1,N2|LO:HI",
+        help="loadgen: instance sizes (default: 60)",
+    )
+    parser.add_argument(
+        "--seeds", default="0:8", metavar="S1,S2|LO:HI",
+        help="loadgen: instance seeds (default: 0:8)",
+    )
+    parser.add_argument(
+        "--requests", type=_positive_int, default=100, metavar="R",
+        help="loadgen: offered requests (default: 100)",
+    )
+    parser.add_argument(
+        "--concurrency", type=_positive_int, default=4, metavar="C",
+        help="loadgen: concurrent client connections (default: 4)",
+    )
+    parser.add_argument(
+        "--rng-seed", type=int, default=0, metavar="S",
+        help="loadgen: seed of the request-mix draw (default: 0)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="loadgen: write the load report JSON to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    from .serve import ServeClient, parse_address, request_sequence, run_load
+
+    address = parse_address(args.connect)
+    try:
+        if args.loadgen:
+            ns = _parse_int_list(args.ns, "--ns")
+            seeds = _parse_int_list(args.seeds, "--seeds")
+            sequence = request_sequence(
+                ns,
+                seeds,
+                args.requests,
+                algorithm=args.algorithm,
+                kernel=args.kernel,
+                rng_seed=args.rng_seed,
+            )
+            report = run_load(
+                address,
+                sequence,
+                concurrency=args.concurrency,
+                timeout=args.timeout,
+            )
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    _json.dump(report, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"load report written to {args.out}")
+            latency = report["latency_seconds"]
+            print(
+                f"{report['requests']} request(s) in "
+                f"{report['elapsed_seconds']:.2f}s: "
+                f"{report['requests_per_second']:.0f} req/s, "
+                f"p50 {latency['p50'] * 1e3:.2f}ms, "
+                f"p99 {latency['p99'] * 1e3:.2f}ms, "
+                f"cache hit rate {report['server']['cache_hit_rate']:.0%}"
+            )
+            if not report["ok"]:
+                print(
+                    f"AUDIT FAILED: {report['errors']} error(s), "
+                    f"{len(report['schema_violations'])} schema violation(s), "
+                    f"{len(report['identity_violations'])} identity "
+                    "violation(s)",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
+        with ServeClient(address, timeout=args.timeout) as client:
+            if args.ping:
+                response = client.ping()
+            elif args.stats:
+                response = client.stats()
+            elif args.shutdown:
+                response = client.shutdown()
+            else:
+                if args.n is None:
+                    print(
+                        "nothing to do: give --n (solve) or one of "
+                        "--ping/--stats/--shutdown/--loadgen",
+                        file=sys.stderr,
+                    )
+                    return 2
+                response = client.solve(
+                    n=args.n,
+                    seed=args.seed,
+                    side=args.side,
+                    algorithm=args.algorithm,
+                    kernel=args.kernel,
+                    cache=not args.no_cache,
+                )
+    except (OSError, ConnectionError) as exc:
+        print(f"cannot reach daemon at {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    if args.json or args.stats:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+    elif response.get("status") == "error":
+        error = response["error"]
+        print(f"error: {error['type']}: {error['message']}", file=sys.stderr)
+        return 1
+    elif "result" in response:
+        result = response["result"]
+        print(
+            f"{result['algorithm']}: |CDS|={result['cds_size']} "
+            f"({result['dominators']} dominators + "
+            f"{result['connectors']} connectors), "
+            f"cached={response['cached']}, batch={response['batch']}, "
+            f"{response['elapsed'] * 1e3:.2f}ms "
+            f"[{response['fingerprint']}]"
+        )
+    else:
+        print(f"{response.get('op', 'ok')}: {response.get('status')}")
+    return 0 if response.get("status") == "ok" else 1
 
 
 def _experiments_main(argv: Sequence[str]) -> int:

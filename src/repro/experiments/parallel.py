@@ -131,7 +131,10 @@ class _ContextWorker:
 
 
 def parallel_map(
-    worker: Callable[[T], R], items: Sequence[T], jobs: int = 1
+    worker: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    pool=None,
 ) -> list[R]:
     """``[worker(item) for item in items]``, optionally across processes.
 
@@ -148,14 +151,24 @@ def parallel_map(
     :class:`~repro.reliability.failures.CellError` naming the failing
     item and its index, with the original exception chained in-process
     and its traceback text preserved across the pool boundary.
+
+    ``pool`` optionally supplies an externally managed
+    ``multiprocessing`` pool to map on instead of creating (and tearing
+    down) one per call; the caller owns its lifecycle.  Long-lived
+    multi-threaded processes need this — the solve daemon reuses one
+    forkserver-context pool across batches, because fork()ing a fresh
+    pool out of a threaded process can deadlock the child on locks the
+    fork happened to snapshot mid-held.
     """
     items = list(items)
     wrapped = _ContextWorker(worker)
     tasks = list(enumerate(items))
     if jobs <= 1 or len(items) < 2:
         return [wrapped(task) for task in tasks]
-    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+    if pool is not None:
         return pool.map(wrapped, tasks)
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as fresh:
+        return fresh.map(wrapped, tasks)
 
 
 def solve_cell(

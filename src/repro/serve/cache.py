@@ -1,0 +1,136 @@
+"""The fingerprint-keyed result cache behind the solve daemon.
+
+The checkpoint ledger (:mod:`repro.reliability.checkpoint`) already
+answers "have we solved this cell before?" for sweeps: every cell has a
+stable identity string and the sweep a SHA-256 fingerprint over
+``(label, keys)``.  The serve cache reuses exactly that machinery —
+:func:`request_key` renders a solve request as the *same* cell-key
+string a sweep over that grid would journal (``n=60;side=6.2;seed=2``),
+and :func:`request_fingerprint` runs it through
+:func:`repro.reliability.checkpoint.grid_fingerprint` under the same
+``solve:<algorithm>:<kernel>`` label :func:`solve_cells_resilient`
+pins into its ledgers.  A cell a sweep has solved and a request the
+daemon has served therefore agree on identity byte-for-byte.
+
+:class:`ResultCache` is a plain in-process LRU over those
+fingerprints.  Values are the deterministic solve summaries (see
+:func:`repro.experiments.parallel.solve_cell`), so a hit is
+*bit-identical* to a cold solve — the whole point of caching
+deterministic work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Mapping
+
+from ..experiments.parallel import SweepCell, cell_key
+from ..reliability.checkpoint import grid_fingerprint
+
+__all__ = [
+    "request_key",
+    "request_label",
+    "request_fingerprint",
+    "ResultCache",
+]
+
+
+def request_key(request: Mapping) -> str:
+    """The cell-identity string of a normalized solve request.
+
+    Spec instances render exactly as the sweep runner's
+    :func:`~repro.experiments.parallel.cell_key`; inline edge lists
+    hash their canonical form (the normalizer sorts and dedupes them)
+    so the key stays short whatever the graph size.
+    """
+    instance = request["instance"]
+    if instance["kind"] == "spec":
+        return cell_key(
+            SweepCell(
+                n=instance["n"], side=instance["side"], seed=instance["seed"]
+            )
+        )
+    payload = json.dumps(
+        [instance["nodes"], instance["edges"]], separators=(",", ":")
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:16]
+    return f"nodes={instance['nodes']};edges=sha256:{digest}"
+
+
+def request_label(request: Mapping) -> str:
+    """The sweep-label a request solves under: ``solve:<algo>:<kernel>``."""
+    return f"solve:{request['algorithm']}:{request['kernel']}"
+
+
+def request_fingerprint(request: Mapping) -> str:
+    """The cache key: checkpoint-style fingerprint of (label, cell key).
+
+    Any change to the instance spec, the algorithm or the pinned kernel
+    changes the fingerprint, so a stale entry can never answer for a
+    different computation — the serve-side mirror of the ledger's
+    resume-refusal contract.
+    """
+    return grid_fingerprint([request_key(request)], request_label(request))
+
+
+class ResultCache:
+    """A bounded LRU of fingerprint → solve summary.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry once ``capacity`` is exceeded.  ``capacity <= 0`` disables
+    storage entirely (every ``get`` misses), which keeps the daemon's
+    cache-off mode on the same code path.
+
+    The cache is deliberately value-opaque: it never copies or mutates
+    stored summaries.  Callers treat results as frozen — the server
+    serialises them straight onto the wire, which is what makes the
+    bit-identical guarantee hold by construction.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str):
+        """The cached summary, or ``None`` (a miss is counted)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, result: object) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        if self.capacity <= 0:
+            return
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = result
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot for the ``stats`` op and drain report."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,97 @@
+"""A small blocking client for the solve daemon.
+
+One persistent socket, newline-delimited JSON both ways, responses in
+request order — which is all the protocol requires, so the client is a
+thin convenience over :mod:`socket`: build a request with the
+:mod:`~repro.serve.protocol` builders, send a line, read a line.  Used
+by ``python -m repro serve-client``, the load generator, and the tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from itertools import count
+
+from .protocol import control_request, solve_request
+
+__all__ = ["parse_address", "ServeClient"]
+
+
+def parse_address(text: str) -> tuple[str, int] | str:
+    """``"host:port"`` → a TCP tuple; anything else → a Unix path.
+
+    A lone ``":port"`` binds the loopback host.  Paths never contain a
+    ``name:digits`` tail, so the discrimination is unambiguous in
+    practice (use ``./name:8000`` in the unlikely collision).
+    """
+    host, sep, port = text.rpartition(":")
+    if sep and port.isdigit() and "/" not in port:
+        return (host or "127.0.0.1", int(port))
+    return text
+
+
+class ServeClient:
+    """A synchronous connection to one daemon.
+
+    ``address`` is a ``(host, port)`` tuple or a Unix-socket path (see
+    :func:`parse_address`).  Request ids are auto-assigned
+    (``c-1``, ``c-2``, ...) unless given.  Usable as a context manager.
+    """
+
+    def __init__(self, address: tuple[str, int] | str, timeout: float = 60.0):
+        self.address = address
+        if isinstance(address, str):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address)
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = count(1)
+
+    # -- plumbing -----------------------------------------------------
+
+    def request(self, obj: dict) -> dict:
+        """Send one request object, return the parsed response."""
+        self._file.write((json.dumps(obj, sort_keys=True) + "\n").encode())
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _next_id(self, request_id: str | None) -> str:
+        return request_id if request_id is not None else f"c-{next(self._ids)}"
+
+    # -- operations ---------------------------------------------------
+
+    def solve(self, request_id: str | None = None, **kwargs) -> dict:
+        """Solve a spec (``n=...``) or inline (``edges=...``) instance.
+
+        Keyword arguments are those of
+        :func:`repro.serve.protocol.solve_request`.
+        """
+        return self.request(solve_request(self._next_id(request_id), **kwargs))
+
+    def ping(self) -> dict:
+        return self.request(control_request(self._next_id(None), "ping"))
+
+    def stats(self) -> dict:
+        return self.request(control_request(self._next_id(None), "stats"))
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain; the ack arrives before it exits."""
+        return self.request(control_request(self._next_id(None), "shutdown"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,756 @@
+"""The solve daemon: asyncio NDJSON server with batching and caching.
+
+``python -m repro serve`` keeps one long-lived process warm — imports
+done, kernels selected, results cached — so the request path stops
+paying the per-invocation rebuild cost of the CLI.  The moving parts:
+
+* **Connections** (:meth:`SolveServer._handle`): newline-delimited JSON
+  over TCP or a Unix socket.  Every request line gets exactly one
+  response line, in order; malformed or invalid lines produce
+  structured ``status: "error"`` responses and the connection *stays
+  open*.
+* **Cache** (:class:`~repro.serve.cache.ResultCache`): solve requests
+  are fingerprinted with the checkpoint subsystem's
+  :func:`~repro.reliability.checkpoint.grid_fingerprint`; a previously
+  solved cell is answered immediately, bit-identical to the cold solve.
+* **Single-flight**: concurrent identical requests coalesce onto one
+  in-flight solve — the followers await the leader's future instead of
+  enqueueing duplicates.
+* **Batching** (:meth:`SolveServer._batcher`): cache misses enter a
+  queue; the batcher collects everything arriving within
+  ``batch_window`` seconds (up to ``batch_max``) and runs the batch
+  through the existing :func:`repro.experiments.parallel.parallel_map`
+  machinery in a worker thread, with ``jobs`` solver processes.
+* **Failure containment** (:func:`solve_batch`): ``parallel_map`` is
+  fail-fast — one bad cell raises a
+  :class:`~repro.reliability.failures.CellError` that would otherwise
+  poison its batchmates.  The daemon catches it, re-runs the batch
+  cell-by-cell, and turns each failing cell's ``CellError`` context
+  into that request's structured error response while the good cells
+  still answer normally.
+* **Metrics** (:class:`ServerStats`): always-on request/cache/batch
+  tallies and a latency reservoir (p50/p99).  Scrape live with the
+  ``stats`` op; at drain the daemon folds everything into the
+  :data:`repro.obs.OBS` registry (``serve.*`` counters and timers plus
+  the merged solver counters) so ``--trace`` / ``--stats-out`` /
+  ``--events-out`` work exactly as on the other CLI modes.  While
+  serving, each completed request also emits a ``serve.request``
+  obs *note* so ``--events-out`` captures per-request traces.
+
+Protocol reference, cache semantics and the ops runbook:
+``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Mapping
+
+from ..obs import OBS
+from ..reliability.failures import CellError
+from .cache import ResultCache, request_fingerprint
+from .protocol import (
+    REQUEST_OPS,
+    RESPONSE_SCHEMA_ID,
+    normalize_request,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ServerStats",
+    "SolveServer",
+    "ServerThread",
+    "serve_cell",
+    "solve_batch",
+    "percentile",
+    "run_server",
+]
+
+#: Queue sentinel: drain is complete once the batcher consumes it.
+_STOP = object()
+
+#: Latency reservoir bound — enough for stable p99 at bench loads
+#: without unbounded growth on a long-lived daemon.
+_LATENCY_RESERVOIR = 100_000
+
+
+def percentile(samples: list[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without math
+    return ordered[int(rank) - 1]
+
+
+# -- the solve worker (module-level: picklable for parallel_map) ------
+
+
+def serve_cell(request: Mapping) -> dict:
+    """Solve one normalized request; deterministic, picklable summary.
+
+    Spec instances delegate to the sweep runner's
+    :func:`~repro.experiments.parallel.solve_cell`, so a served cell's
+    summary — sizes *and* operation counters — is byte-identical to the
+    same cell solved by ``python -m repro sweep``.  Inline edge lists
+    build an integer-labeled graph and produce the analogous summary.
+
+    Raises:
+        ValueError: for an unknown algorithm, a kernel pin the
+            algorithm does not accept, or a disconnected edge instance
+            — all surfaced to the client as structured error responses.
+    """
+    from ..cli import _solver_registry
+    from ..experiments.parallel import SweepCell, solve_cell
+
+    instance = request["instance"]
+    algorithm = request["algorithm"]
+    if algorithm not in _solver_registry():
+        # Pre-check so both instance kinds report an unknown algorithm
+        # the same way (solve_cell would surface a bare KeyError).
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    kernel = None if request["kernel"] == "auto" else request["kernel"]
+    if instance["kind"] == "spec":
+        cell = SweepCell(
+            n=instance["n"], side=instance["side"], seed=instance["seed"]
+        )
+        return solve_cell(cell, algorithm=algorithm, kernel=kernel)
+    return _solve_edges(instance, algorithm, kernel)
+
+
+def _solve_edges(instance: Mapping, algorithm: str, kernel: str | None) -> dict:
+    import inspect
+
+    from ..cli import _solver_registry
+    from ..graphs.graph import Graph
+    from ..graphs.traversal import is_connected
+
+    solver = _solver_registry()[algorithm]
+    kwargs = {}
+    if kernel is not None:
+        if "kernel" not in inspect.signature(solver).parameters:
+            raise ValueError(
+                f"algorithm {algorithm!r} does not take a kernel "
+                "(only the kernelized solvers: waf, greedy)"
+            )
+        kwargs["kernel"] = kernel
+    graph: Graph = Graph()
+    for node in range(instance["nodes"]):
+        graph.add_node(node)
+    for u, v in instance["edges"]:
+        graph.add_edge(u, v)
+    if not is_connected(graph):
+        raise ValueError(
+            "edge instance is disconnected (a CDS requires a connected "
+            "graph); submit one component per request"
+        )
+    with OBS.capture() as reg:
+        result = solver(graph, **kwargs)
+        counters = reg.counters()
+    summary = {
+        "nodes": len(graph),
+        "edges": graph.edge_count(),
+        "algorithm": result.algorithm,
+        "cds_size": result.size,
+        "dominators": len(result.dominators),
+        "connectors": len(result.connectors),
+        "counters": counters,
+    }
+    if kernel is not None:
+        summary["kernel"] = kernel
+    return summary
+
+
+def _warm_worker(_: int) -> None:
+    """Pool warm-up task: pay the child-side import cost up front."""
+    from ..experiments.parallel import solve_cell  # noqa: F401
+
+
+def solve_batch(requests: list[dict], jobs: int, pool=None) -> list[dict]:
+    """Run one batch through ``parallel_map``; failures become data.
+
+    Returns one outcome per request, in order: ``{"ok": summary}`` or
+    ``{"error": {...}, "fallback": True}``.  The happy path is a single
+    :func:`~repro.experiments.parallel.parallel_map` over the batch;
+    when that fail-fast map aborts with a
+    :class:`~repro.reliability.failures.CellError`, the batch is
+    re-run cell-by-cell so each failing request gets *its own* error —
+    carrying the CellError context (exception type, message, item repr,
+    batch index) — and its batchmates still get results.
+    """
+    from ..experiments.parallel import parallel_map
+
+    try:
+        results = parallel_map(serve_cell, requests, jobs=jobs, pool=pool)
+        return [{"ok": result} for result in results]
+    except CellError:
+        pass
+    outcomes: list[dict] = []
+    for index, request in enumerate(requests):
+        try:
+            outcomes.append({"ok": serve_cell(request)})
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            err = CellError.wrap(request, index, exc)
+            outcomes.append(
+                {
+                    "error": {
+                        "type": err.error_type,
+                        "message": err.error_message,
+                        "item": err.item_repr,
+                        "index": err.index,
+                    },
+                    "fallback": True,
+                }
+            )
+    return outcomes
+
+
+# -- configuration and metrics ----------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One daemon's knobs (defaults match ``python -m repro serve``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    socket_path: str | None = None  # Unix socket; overrides host/port
+    jobs: int = 1                   # solver processes per batch
+    batch_window: float = 0.005     # seconds the batcher waits to coalesce
+    batch_max: int = 32             # hard batch-size cap
+    cache_size: int = 1024          # LRU entries; 0 disables caching
+    max_line_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+
+
+@dataclass
+class ServerStats:
+    """Always-on serving metrics (independent of the obs enable flag)."""
+
+    requests: int = 0
+    ops: dict = field(default_factory=dict)        # op -> count
+    errors: int = 0
+    cells_solved: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    batch_cells: int = 0
+    batch_max: int = 0
+    batch_fallbacks: int = 0
+    latencies: list = field(default_factory=list)  # solve-request seconds
+    batch_seconds: list = field(default_factory=list)
+
+    def record_request(self, op: str) -> None:
+        self.requests += 1
+        self.ops[op] = self.ops.get(op, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        if len(self.latencies) < _LATENCY_RESERVOIR:
+            self.latencies.append(seconds)
+
+    def record_batch(self, size: int, seconds: float, fallback: bool) -> None:
+        self.batches += 1
+        self.batch_cells += size
+        self.batch_max = max(self.batch_max, size)
+        self.batch_fallbacks += 1 if fallback else 0
+        if len(self.batch_seconds) < _LATENCY_RESERVOIR:
+            self.batch_seconds.append(seconds)
+
+    def snapshot(self, cache: ResultCache) -> dict:
+        """The JSON payload of the ``stats`` op."""
+        lat = self.latencies
+        return {
+            "requests": self.requests,
+            "ops": dict(sorted(self.ops.items())),
+            "errors": self.errors,
+            "cells_solved": self.cells_solved,
+            "coalesced": self.coalesced,
+            "batches": self.batches,
+            "batch_cells": self.batch_cells,
+            "batch_max": self.batch_max,
+            "batch_fallbacks": self.batch_fallbacks,
+            "cache": cache.stats(),
+            "latency": {
+                "count": len(lat),
+                "mean": sum(lat) / len(lat) if lat else 0.0,
+                "p50": percentile(lat, 50),
+                "p99": percentile(lat, 99),
+                "max": max(lat) if lat else 0.0,
+            },
+        }
+
+    def obs_state(self, cache: ResultCache) -> dict:
+        """Counters/timers in :meth:`repro.obs.Registry.merge_state` shape.
+
+        Folded into ``OBS`` once, at drain — the async loop itself never
+        increments registry counters while serving, because the inline
+        (``jobs=1``) solve path captures the registry around each cell
+        and would wipe concurrent increments.  ``ServerStats`` is the
+        durable store; the registry gets the totals.
+        """
+        counters = {
+            "serve.requests": self.requests,
+            "serve.errors": self.errors,
+            "serve.cells.solved": self.cells_solved,
+            "serve.coalesced": self.coalesced,
+            "serve.batches": self.batches,
+            "serve.batch.size": self.batch_cells,
+            "serve.batch.max": self.batch_max,
+            "serve.batch.fallbacks": self.batch_fallbacks,
+            "serve.cache.hits": cache.hits,
+            "serve.cache.misses": cache.misses,
+            "serve.cache.evictions": cache.evictions,
+        }
+        for op, count in self.ops.items():
+            counters[f"serve.requests.{op}"] = count
+        timers = {}
+        if self.latencies:
+            timers["serve.request"] = {
+                "total": sum(self.latencies),
+                "count": len(self.latencies),
+                "max": max(self.latencies),
+            }
+        if self.batch_seconds:
+            timers["serve.batch.solve"] = {
+                "total": sum(self.batch_seconds),
+                "count": len(self.batch_seconds),
+                "max": max(self.batch_seconds),
+            }
+        return {"counters": counters, "timers": timers}
+
+
+# -- the daemon -------------------------------------------------------
+
+
+class SolveServer:
+    """The asyncio daemon.  Use :func:`run_server` (blocking) or
+    :class:`ServerThread` (tests, load generation) rather than driving
+    this class directly; for manual control call :meth:`start`, then
+    :meth:`serve_until_shutdown` inside a running event loop."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(self.config.cache_size)
+        self.stats = ServerStats()
+        self.address: tuple[str, int] | str | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._batcher_task: asyncio.Task | None = None
+        self._shutdown = asyncio.Event()
+        self._merged_solver_counters: dict[str, float] = {}
+        self._pool = None
+        self._writers: set = set()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _start_pool(self) -> None:
+        # A persistent pool, created once: the per-batch Pool that
+        # parallel_map would make uses plain fork(), which deadlocks
+        # intermittently out of a threaded process (the child snapshots
+        # locks mid-held).  The forkserver context forks from a
+        # single-threaded helper instead, and reusing one pool also
+        # drops the per-batch setup cost.  Warm-up maps one trivial
+        # task per worker so the children pay their import cost before
+        # the first real request.
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("forkserver")
+        except ValueError:  # pragma: no cover - platform without forkserver
+            context = multiprocessing.get_context("spawn")
+        self._pool = context.Pool(processes=self.config.jobs)
+        self._pool.map(_warm_worker, range(self.config.jobs), chunksize=1)
+
+    async def start(self) -> None:
+        if self.config.jobs > 1:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._start_pool
+            )
+        self._queue = asyncio.Queue()
+        self._batcher_task = asyncio.create_task(self._batcher())
+        if self.config.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle,
+                path=self.config.socket_path,
+                limit=self.config.max_line_bytes,
+            )
+            self.address = self.config.socket_path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle,
+                host=self.config.host,
+                port=self.config.port,
+                limit=self.config.max_line_bytes,
+            )
+            sock = self._server.sockets[0].getsockname()
+            self.address = (sock[0], sock[1])
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, threadsafe via loop)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until the ``shutdown`` op (or a signal) fires, then
+        drain: stop accepting, finish queued batches, answer in-flight
+        requests, stop the batcher."""
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self._queue.put(_STOP)
+        await self._batcher_task
+        # Handlers awaiting futures resolve on the next loop ticks;
+        # give them a moment to write their final responses.
+        for _ in range(50):
+            if not self._inflight:
+                break
+            await asyncio.sleep(0.01)
+        # Close lingering connections (clients idling in their read
+        # loop) so every handler exits through its normal EOF path
+        # before the event loop tears down, instead of being cancelled
+        # mid-readline at asyncio.run() cleanup.
+        for writer in list(self._writers):
+            writer.close()
+        for _ in range(50):
+            if not self._writers:
+                break
+            await asyncio.sleep(0.01)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def emit_obs(self) -> None:
+        """Fold the serving metrics into the shared ``OBS`` registry.
+
+        Called once after the loop exits (the CLI drain path): the
+        ``serve.*`` counters/timers plus the solver counters merged
+        across every cell this daemon solved — all deterministic per
+        request sequence, so ``--stats-out`` records are comparable
+        run-to-run.
+        """
+        OBS.merge_state(self.stats.obs_state(self.cache))
+        if self._merged_solver_counters:
+            OBS.merge_state({"counters": dict(self._merged_solver_counters)})
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            while not reader.at_eof():
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or dropped peer
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                response = await self._dispatch(stripped)
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode()
+                )
+                await writer.drain()
+        except ConnectionError:  # pragma: no cover - peer vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writers.discard(writer)
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            obj = json.loads(line)
+        except ValueError as exc:
+            self.stats.errors += 1
+            return self._error(None, "ProtocolError", f"invalid JSON: {exc}")
+        request_id = obj.get("id") if isinstance(obj, Mapping) else None
+        if not isinstance(request_id, str):
+            request_id = None
+        try:
+            request = normalize_request(obj)
+        except ValueError as exc:
+            self.stats.errors += 1
+            return self._error(request_id, "ProtocolError", str(exc))
+        self.stats.record_request(request["op"])
+        if request["op"] == "ping":
+            return self._ok(request_id, op="ping")
+        if request["op"] == "stats":
+            return self._ok(
+                request_id, op="stats", stats=self.stats.snapshot(self.cache)
+            )
+        if request["op"] == "shutdown":
+            self.request_shutdown()
+            return self._ok(request_id, op="shutdown", draining=True)
+        return await self._solve(request)
+
+    async def _solve(self, request: dict) -> dict:
+        t0 = perf_counter()
+        request_id = request["id"]
+        fingerprint = request_fingerprint(request)
+        use_cache = request["cache"] and self.config.cache_size > 0
+        if use_cache:
+            hit = self.cache.get(fingerprint)
+            if hit is not None:
+                elapsed = perf_counter() - t0
+                self.stats.record_latency(elapsed)
+                self._note(request_id, fingerprint, cached=True, batch=0,
+                           elapsed=elapsed)
+                return self._ok(
+                    request_id,
+                    result=hit,
+                    fingerprint=fingerprint,
+                    cached=True,
+                    batch=0,
+                    elapsed=elapsed,
+                )
+        coalesced = False
+        future = self._inflight.get(fingerprint) if use_cache else None
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            if use_cache:
+                self._inflight[fingerprint] = future
+            await self._queue.put((request, fingerprint if use_cache else None,
+                                   future))
+        else:
+            self.stats.coalesced += 1
+            coalesced = True
+        outcome, batch_size = await future
+        elapsed = perf_counter() - t0
+        self.stats.record_latency(elapsed)
+        if "ok" in outcome:
+            self._note(request_id, fingerprint, cached=False,
+                       batch=batch_size, elapsed=elapsed)
+            response = self._ok(
+                request_id,
+                result=outcome["ok"],
+                fingerprint=fingerprint,
+                cached=False,
+                batch=batch_size,
+                elapsed=elapsed,
+            )
+            if coalesced:
+                response["coalesced"] = True
+            return response
+        self.stats.errors += 1
+        return {
+            "schema": RESPONSE_SCHEMA_ID,
+            "id": request_id,
+            "status": "error",
+            "error": dict(outcome["error"]),
+        }
+
+    # -- batching -----------------------------------------------------
+
+    async def _batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            deadline = loop.time() + self.config.batch_window
+            while len(batch) < self.config.batch_max:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)
+            await self._run_batch(loop, batch)
+
+    async def _run_batch(self, loop, batch) -> None:
+        requests = [request for request, _, _ in batch]
+        t0 = perf_counter()
+        try:
+            outcomes = await loop.run_in_executor(
+                None, solve_batch, requests, self.config.jobs, self._pool
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            outcomes = [
+                {"error": {"type": type(exc).__name__, "message": str(exc),
+                           "item": repr(req), "index": i}}
+                for i, req in enumerate(requests)
+            ]
+        seconds = perf_counter() - t0
+        fallback = any(outcome.get("fallback") for outcome in outcomes)
+        self.stats.record_batch(len(batch), seconds, fallback)
+        self.stats.cells_solved += len(batch)
+        for (request, fingerprint, future), outcome in zip(batch, outcomes):
+            if fingerprint is not None:
+                self._inflight.pop(fingerprint, None)
+                if "ok" in outcome:
+                    self.cache.put(fingerprint, outcome["ok"])
+            if "ok" in outcome:
+                self._merge_solver_counters(outcome["ok"].get("counters", {}))
+            if not future.done():
+                future.set_result((outcome, len(batch)))
+
+    def _merge_solver_counters(self, counters: Mapping) -> None:
+        merged = self._merged_solver_counters
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + value
+
+    # -- response shaping ---------------------------------------------
+
+    def _ok(self, request_id: str | None, **fields) -> dict:
+        response = {
+            "schema": RESPONSE_SCHEMA_ID,
+            "id": request_id,
+            "status": "ok",
+        }
+        response.update(fields)
+        return response
+
+    def _error(self, request_id: str | None, error_type: str,
+               message: str) -> dict:
+        return {
+            "schema": RESPONSE_SCHEMA_ID,
+            "id": request_id,
+            "status": "error",
+            "error": {"type": error_type, "message": message},
+        }
+
+    def _note(self, request_id: str | None, fingerprint: str, *,
+              cached: bool, batch: int, elapsed: float) -> None:
+        # Per-request tracing for --events-out: a point event per
+        # completed solve.  Notes never touch counters, so they are
+        # safe to emit from the loop while a batch solves inline.
+        OBS.note(
+            "serve.request",
+            {
+                "id": request_id,
+                "fingerprint": fingerprint,
+                "cached": cached,
+                "batch": batch,
+                "elapsed": elapsed,
+            },
+        )
+
+
+# -- entry points -----------------------------------------------------
+
+
+async def _serve_main(server: SolveServer, ready=None) -> None:
+    await server.start()
+    if ready is not None:
+        ready.set()
+    await server.serve_until_shutdown()
+
+
+def run_server(
+    config: ServeConfig | None = None,
+    *,
+    on_ready=None,
+    install_signal_handlers: bool = True,
+) -> SolveServer:
+    """Blocking entry point: start a daemon, serve until drained.
+
+    ``on_ready(server)`` fires once the socket is bound (the CLI prints
+    the address there).  SIGINT/SIGTERM trigger the same graceful drain
+    as the ``shutdown`` op when handlers are installed (main thread
+    only).  Returns the server so callers can read final stats and
+    call :meth:`SolveServer.emit_obs`.
+    """
+    server = SolveServer(config)
+
+    async def main() -> None:
+        await server.start()
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, server.request_shutdown)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    break  # not the main thread / unsupported platform
+        if on_ready is not None:
+            on_ready(server)
+        await server.serve_until_shutdown()
+
+    asyncio.run(main())
+    return server
+
+
+class ServerThread:
+    """A daemon on a background thread — tests and load generation.
+
+    ``start()`` returns once the socket is bound; ``stop()`` requests
+    the graceful drain and joins the thread.  The live server object is
+    exposed as :attr:`server` (stats/cache inspection is safe — plain
+    attribute reads under the GIL).
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.server = SolveServer(self.config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(
+                _serve_main(self.server, _ThreadReady(self._ready))
+            )
+        finally:
+            self._loop.close()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("serve thread did not become ready")
+        return self
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _ThreadReady:
+    """Adapt a ``threading.Event`` to the asyncio ``ready.set()`` call."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: threading.Event):
+        self._event = event
+
+    def set(self) -> None:
+        self._event.set()

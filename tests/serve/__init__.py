@@ -1,0 +1,1 @@
+"""Tests for the solve daemon (repro.serve)."""

@@ -1,0 +1,104 @@
+"""Tests for serve fingerprinting and the LRU result cache."""
+
+from repro.experiments.parallel import SweepCell, cell_key
+from repro.reliability.checkpoint import grid_fingerprint
+from repro.serve import (
+    ResultCache,
+    normalize_request,
+    request_fingerprint,
+    request_key,
+    request_label,
+    solve_request,
+)
+
+
+def _norm(**kwargs):
+    return normalize_request(solve_request("r", **kwargs))
+
+
+class TestRequestIdentity:
+    def test_spec_key_is_sweep_cell_key(self):
+        # The serve cache and the sweep checkpoint ledger must agree on
+        # cell identity byte-for-byte.
+        req = _norm(n=60, seed=2, side=6.2)
+        assert request_key(req) == cell_key(SweepCell(n=60, side=6.2, seed=2))
+
+    def test_fingerprint_matches_checkpoint_machinery(self):
+        req = _norm(n=60, seed=2, side=6.2, algorithm="greedy", kernel="auto")
+        expected = grid_fingerprint(
+            [cell_key(SweepCell(n=60, side=6.2, seed=2))], "solve:greedy:auto"
+        )
+        assert request_fingerprint(req) == expected
+        assert request_label(req) == "solve:greedy:auto"
+
+    def test_fingerprint_changes_with_every_dimension(self):
+        base = _norm(n=60, seed=2, side=6.2)
+        variants = [
+            _norm(n=61, seed=2, side=6.2),
+            _norm(n=60, seed=3, side=6.2),
+            _norm(n=60, seed=2, side=6.3),
+            _norm(n=60, seed=2, side=6.2, algorithm="waf"),
+            _norm(n=60, seed=2, side=6.2, kernel="bitset"),
+        ]
+        fingerprints = {request_fingerprint(v) for v in variants}
+        assert request_fingerprint(base) not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_edge_order_does_not_change_fingerprint(self):
+        a = _norm(edges=[[2, 1], [0, 1]], nodes=3)
+        b = _norm(edges=[[0, 1], [1, 2], [1, 2]], nodes=3)
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_edge_instances_keyed_by_content(self):
+        a = _norm(edges=[[0, 1], [1, 2]], nodes=3)
+        b = _norm(edges=[[0, 1], [0, 2]], nodes=3)
+        assert request_fingerprint(a) != request_fingerprint(b)
+        assert request_key(a).startswith("nodes=3;edges=sha256:")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get("fp") is None
+        cache.put("fp", {"x": 1})
+        assert cache.get("fp") == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1
+        assert "fp" in cache and len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, no eviction
+        cache.put("c", 3)
+        assert "b" not in cache and cache.get("a") == 10
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0 and cache.evictions == 0
+
+    def test_stats_snapshot(self):
+        cache = ResultCache(1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("b", 2)
+        assert cache.stats() == {
+            "capacity": 1,
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }

@@ -1,0 +1,75 @@
+"""Tests for the deterministic load generator and its audit report."""
+
+import pytest
+
+from repro.serve import (
+    LOAD_REPORT_SCHEMA_ID,
+    ServeConfig,
+    ServerThread,
+    request_sequence,
+    run_load,
+)
+
+
+class TestRequestSequence:
+    def test_deterministic_per_seed(self):
+        a = request_sequence([20, 40], [0, 1], 30, rng_seed=7)
+        b = request_sequence([20, 40], [0, 1], 30, rng_seed=7)
+        assert a == b
+        c = request_sequence([20, 40], [0, 1], 30, rng_seed=8)
+        assert a != c
+
+    def test_covers_only_the_grid(self):
+        sequence = request_sequence([20], [1, 2], 50, rng_seed=0)
+        assert len(sequence) == 50
+        drawn = {
+            (r["instance"]["n"], r["instance"]["seed"]) for r in sequence
+        }
+        assert drawn <= {(20, 1), (20, 2)}
+
+    def test_request_ids_unique(self):
+        sequence = request_sequence([20], [1], 10)
+        assert len({r["id"] for r in sequence}) == 10
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            request_sequence([], [1], 5)
+        with pytest.raises(ValueError):
+            request_sequence([20], [1], 0)
+
+
+class TestRunLoad:
+    def test_load_report_audits_clean(self):
+        sequence = request_sequence([20, 30], [1, 2], 40, rng_seed=3)
+        with ServerThread(ServeConfig()) as thread:
+            report = run_load(thread.address, sequence, concurrency=4)
+        assert report["schema"] == LOAD_REPORT_SCHEMA_ID
+        assert report["ok"] is True
+        assert report["requests"] == 40
+        assert report["errors"] == 0
+        assert report["schema_violations"] == []
+        assert report["identity_violations"] == []
+        assert report["requests_per_second"] > 0
+        latency = report["latency_seconds"]
+        assert latency["count"] == 40
+        assert latency["p50"] <= latency["p99"] <= latency["max"]
+        # 40 requests over a 4-instance grid: most were repeats, so the
+        # daemon's cache must have absorbed the bulk of the load.
+        assert report["server"]["cache_hit_rate"] > 0.5
+        stats = report["server"]["stats"]
+        assert stats["cells_solved"] == 4
+
+    def test_errors_flagged_not_raised(self):
+        # An unknown algorithm makes every request fail server-side;
+        # the load run must complete and report it, not blow up.
+        sequence = request_sequence([20], [1], 5, algorithm="greedy")
+        for request in sequence:
+            request["algorithm"] = "nope"
+        with ServerThread(ServeConfig()) as thread:
+            report = run_load(thread.address, sequence, concurrency=2)
+        assert report["ok"] is False
+        assert report["errors"] == 5
+
+    def test_concurrency_validation(self):
+        with pytest.raises(ValueError):
+            run_load(("127.0.0.1", 1), [], concurrency=0)
