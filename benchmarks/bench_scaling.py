@@ -6,6 +6,8 @@ construction pipeline (points → UDG → backbone) at n up to 2000 and
 asserts the outputs stay valid.
 """
 
+import os
+
 import pytest
 
 from repro.cds import greedy_connector_cds, waf_cds
@@ -87,15 +89,17 @@ def test_waf_large_scaling(benchmark, n):
 
 @pytest.mark.slow
 def test_kernels_agree_at_scale():
-    # The equivalence suite (tests/cds/test_bitset.py) covers n <= 46
-    # instances exhaustively; this locks the kernels together once at
-    # a size where word-level bugs (multi-word masks, dense
-    # bit_indices path) would actually surface.
+    # The equivalence suites (tests/cds/) cover n <= 46 instances
+    # exhaustively; this locks the kernels together once at a size
+    # where word-level bugs (multi-word masks, dense bit_indices
+    # path) and vector bugs (batched rescore, frontier dedup) would
+    # actually surface.
     g = _instance(4000)
     indexed = greedy_connector_cds(g, kernel="indexed")
     bitset = greedy_connector_cds(g, kernel="bitset")
-    assert indexed.nodes == bitset.nodes
-    assert indexed.meta == bitset.meta
+    array = greedy_connector_cds(g, kernel="array")
+    assert indexed.nodes == bitset.nodes == array.nodes
+    assert indexed.meta == bitset.meta == array.meta
 
 
 @pytest.mark.slow
@@ -109,3 +113,40 @@ def test_udg10000_all_solvers_complete():
     assert waf.is_valid(g)
     assert greedy.is_valid(g)
     assert steiner.is_valid(g)
+
+
+# --- vector-kernel tier (PR 7) ---------------------------------------
+#
+# n = 10^5 runs in the slow lane on the array kernel only: the bitset
+# kernel's masks cost n^2/8 = 1.25 GB at this size and its greedy is
+# an order of magnitude slower (see docs/performance.md for the
+# measured crossover).  n = 10^6 would hold the lane for minutes even
+# vectorized, so it is opt-in: set REPRO_SCALE_XL=1 to run it.
+
+_XL = pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE_XL") != "1",
+    reason="set REPRO_SCALE_XL=1 to run the 10^6-node tier (minutes, ~4 GB)",
+)
+
+
+@pytest.mark.slow
+def test_udg100000_array_build_and_greedy():
+    # Matches the BENCH_pr7.json udg100000 fixture parameters.
+    pts = uniform_points(100000, 140.0, seed=7)
+    g = unit_disk_graph(pts)  # dispatches to the vectorized builder
+    assert is_connected(g)
+    result = greedy_connector_cds(g, kernel="array")
+    assert result.is_valid(g)
+    auto = greedy_connector_cds(g)  # auto resolves to the array kernel
+    assert auto.nodes == result.nodes
+
+
+@pytest.mark.slow
+@_XL
+def test_udg1000000_build_and_greedy_complete():
+    # Matches the BENCH_pr7.json udg1000000 fixture parameters.
+    pts = uniform_points(1000000, 380.0, seed=8)
+    g = unit_disk_graph(pts)
+    assert is_connected(g)
+    result = greedy_connector_cds(g)
+    assert result.is_valid(g)

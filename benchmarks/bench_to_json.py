@@ -2,13 +2,14 @@
 
 A plain script (not a pytest bench): it rebuilds the shared benchmark
 fixtures (20/60/150-node connected UDGs, same parameters as
-``conftest.py``, plus the 1000/4000/10000-node scaling tier), times the
-UDG builders, the phase-1 MIS and all three solvers — with the CSR and
-bitset kernels pinned separately for the kernelized ones — captures one
-instrumented run's counters per case, and writes everything as JSON —
-the files (``BENCH_baseline.json`` from PR 1, ``BENCH_pr2.json`` after
-the indexed-kernel/lazy-greedy PR, ``BENCH_pr3.json`` after the bitset
-kernel) that optimisation PRs compare against.  Read a series of them
+``conftest.py``, plus the 1000 through 1000000-node scaling tiers),
+times the UDG builders, the phase-1 MIS and all three solvers — with
+the CSR, bitset and array kernels pinned separately for the kernelized
+ones — captures one instrumented run's counters per case, and writes
+everything as JSON — the files (``BENCH_baseline.json`` from PR 1,
+``BENCH_pr2.json`` after the indexed-kernel/lazy-greedy PR,
+``BENCH_pr3.json`` after the bitset kernel, ``BENCH_pr7.json`` after
+the array kernel) that optimisation PRs compare against.  Read a series of them
 with ``python -m repro bench compare`` (``repro.obs.trend``), which is
 also the CI perf-regression gate.
 
@@ -41,16 +42,26 @@ from repro import __version__
 from repro.cds import greedy_connector_cds, steiner_cds, waf_cds
 from repro.experiments.parallel import parallel_map
 from repro.graphs import random_connected_udg
-from repro.graphs.bitset import build_kernel
-from repro.graphs.udg import unit_disk_graph, unit_disk_graph_naive
+from repro.graphs.backend import build_kernel
+from repro.graphs.udg import (
+    GRID_VECTOR_N,
+    unit_disk_graph,
+    unit_disk_graph_naive,
+    unit_disk_graph_vectorized,
+)
 from repro.mis.first_fit import first_fit_mis_nodes
 from repro.obs import OBS, RunRecord
 from repro.obs.trend import BENCH_SCHEMA_ID as SCHEMA_ID
 
 #: The shared fixtures of ``benchmarks/conftest.py`` plus the
-#: large-instance scaling tier: name -> (n, side, seed).  The tiers
-#: keep deployment density fixed (~3.1 nodes per unit square, mean
-#: degree ~9.5) so only ``n`` varies along the scaling axis.
+#: large-instance scaling tier: name -> (n, side, seed).  The tiers up
+#: to udg10000 keep deployment density fixed (~3.1 nodes per unit
+#: square, mean degree ~9.5) so only ``n`` varies along the scaling
+#: axis; the vector-kernel tier (udg100000/udg1000000, PR 7) is denser
+#: (~5.1 and ~6.9 nodes per unit square) because at those sizes the
+#: fixed density sits below the random-geometric connectivity
+#: threshold — boundary effects dominate and the rejection sampler in
+#: ``random_connected_udg`` would never find a connected deployment.
 FIXTURES: dict[str, tuple[int, float, int]] = {
     "udg20": (20, 3.8, 1),
     "udg60": (60, 6.2, 2),
@@ -58,6 +69,8 @@ FIXTURES: dict[str, tuple[int, float, int]] = {
     "udg1000": (1000, 18.0, 4),
     "udg4000": (4000, 36.0, 5),
     "udg10000": (10000, 57.0, 6),
+    "udg100000": (100000, 140.0, 7),
+    "udg1000000": (1000000, 380.0, 8),
 }
 
 #: Fixtures benchmarked when ``--fixtures`` is not given: the cheap
@@ -71,22 +84,49 @@ NAIVE_BUILD_MAX_N = 2000
 
 #: Benchmarked case names, in output order per fixture.  ``waf`` and
 #: ``greedy`` run the solvers' defaults (``kernel="auto"``) as every
-#: earlier baseline did; the ``*_indexed`` / ``*_bitset`` pairs pin
-#: the kernel so the scaling table can compare the CSR and bitmask
-#: code paths on identical instances.
+#: earlier baseline did; the ``*_indexed`` / ``*_bitset`` /
+#: ``*_array`` variants pin the kernel so the scaling table can
+#: compare the CSR, bitmask and numpy code paths on identical
+#: instances.
 CASE_NAMES = (
     "udg_build_naive",
     "udg_build_grid",
+    "udg_build_vector",
     "mis_indexed",
     "mis_bitset",
+    "mis_array",
     "waf",
     "waf_indexed",
     "waf_bitset",
+    "waf_array",
     "greedy",
     "greedy_indexed",
     "greedy_bitset",
+    "greedy_array",
     "steiner",
 )
+
+#: Largest fixture ``n`` (inclusive) each case still runs at — beyond
+#: it the case is dropped from the fixture rather than holding a
+#: baseline run for hours.  The naive builder is quadratic; the
+#: interpreted greedy tracker and the Steiner solver are
+#: superlinear-in-practice beyond 10^4; the bitset kernel's masks
+#: cost n^2/8 bytes (125 GB at 10^6); the default builder IS the
+#: vectorized path at GRID_VECTOR_N and up, so the ``grid`` case
+#: stops where its name stops being true.  Absent means unlimited.
+CASE_MAX_N: dict[str, int] = {
+    "udg_build_naive": NAIVE_BUILD_MAX_N - 1,
+    "udg_build_grid": GRID_VECTOR_N - 1,
+    "mis_indexed": 100_000,
+    "mis_bitset": 100_000,
+    "waf": 100_000,
+    "waf_indexed": 100_000,
+    "waf_bitset": 100_000,
+    "waf_array": 100_000,
+    "greedy_indexed": 10_000,
+    "greedy_bitset": 100_000,
+    "steiner": 10_000,
+}
 
 
 def _cases(points, graph):
@@ -94,28 +134,34 @@ def _cases(points, graph):
     return {
         "udg_build_naive": lambda: unit_disk_graph_naive(points),
         "udg_build_grid": lambda: unit_disk_graph(points),
+        "udg_build_vector": lambda: unit_disk_graph_vectorized(points),
         "mis_indexed": lambda: first_fit_mis_nodes(
             graph, index=build_kernel(graph, "indexed")
         ),
         "mis_bitset": lambda: first_fit_mis_nodes(
             graph, index=build_kernel(graph, "bitset")
         ),
+        "mis_array": lambda: first_fit_mis_nodes(
+            graph, index=build_kernel(graph, "array")
+        ),
         "waf": lambda: waf_cds(graph),
         "waf_indexed": lambda: waf_cds(graph, kernel="indexed"),
         "waf_bitset": lambda: waf_cds(graph, kernel="bitset"),
+        "waf_array": lambda: waf_cds(graph, kernel="array"),
         "greedy": lambda: greedy_connector_cds(graph),
         "greedy_indexed": lambda: greedy_connector_cds(graph, kernel="indexed"),
         "greedy_bitset": lambda: greedy_connector_cds(graph, kernel="bitset"),
+        "greedy_array": lambda: greedy_connector_cds(graph, kernel="array"),
         "steiner": lambda: steiner_cds(graph),
     }
 
 
 def _fixture_cases(fixture: str) -> tuple[str, ...]:
-    """The cases run for one fixture (the naive builder is quadratic)."""
+    """The cases run for one fixture (see :data:`CASE_MAX_N`)."""
     n = FIXTURES[fixture][0]
-    if n >= NAIVE_BUILD_MAX_N:
-        return tuple(c for c in CASE_NAMES if c != "udg_build_naive")
-    return CASE_NAMES
+    return tuple(
+        c for c in CASE_NAMES if n <= CASE_MAX_N.get(c, n)
+    )
 
 
 def _git_commit() -> str | None:

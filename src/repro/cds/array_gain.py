@@ -1,0 +1,434 @@
+"""Vectorized gain maximisation for the Section IV greedy.
+
+The array-kernel counterpart of
+:class:`~repro.cds.lazy_gain.LazyGainTracker` and
+:class:`~repro.cds.bitset_gain.BitsetGainTracker`.  The bitset tracker
+owns the mid range, but both its memory and its per-round cost scale
+with ``n`` (``n²/8``-byte masks, ``⌈n/64⌉``-word ops per whole-mask
+step): at ``n = 10⁶`` the masks alone would be 125 GB.  This tracker
+keeps every per-round step proportional to the *work actually caused*
+by the round — no ``O(n)`` or ``O(n/64)`` term anywhere — and batches
+the remaining element work through numpy:
+
+* **Eager component labels.**  ``comp_id`` maps every included id to
+  its component's root eagerly (weighted relabel on merge: the smaller
+  member list is rewritten with one vectorized scatter, ``O(n log n)``
+  ids moved over a whole run), so re-scoring never walks a union-find —
+  a candidate batch's adjacent components are one gather plus one
+  ``np.unique`` over ``owner·n + root`` keys.
+
+* **Batched re-scoring over the dirty frontier.**  Invalidated
+  candidates accumulate between selections and are re-scored as one
+  vectorized batch: gather all their neighbor rows
+  (:func:`~repro.graphs.array.gather_rows`), keep the included ones,
+  count distinct ``(candidate, root)`` pairs, and scatter the new gains
+  back into the dense ``gains`` array.  ``gain.evaluations`` keeps its
+  meaning — candidates actually re-scored.
+
+* **Watcher lists with a base-exempt pop.**  Like the lazy tracker,
+  each scored candidate with gain ≥ 1 registers under the roots it
+  counted; unlike it, a merge never pops the *surviving* (base) root's
+  list.  Exactness argument: a candidate's count can only change if it
+  is adjacent to two or more of the merging parts — so it is registered
+  under at least one non-base part — or if it neighbors the added node
+  ``w`` (both sources are invalidated).  Gain-0 candidates never
+  register at all: with one adjacent component, only a new included
+  neighbor can change their count, and ``N(w)`` is always invalidated.
+  This is what removes the lazy tracker's giant-component pathology
+  without the bitset tracker's whole-mask overlap algebra.
+
+* **Lazy max-heaps per tie-break.**  Selection pops a heap of
+  ``(-gain, rank, id)`` entries (rank = position in ascending node
+  value order, exactly the bitset tracker's level bit space), with
+  stale entries discarded against the dense ``gains`` array — amortized
+  ``O(log)`` per (re)score instead of a per-round candidate scan.
+  Graphs whose nodes are not mutually orderable fall back to the lazy
+  tracker's explicit ascending-id scan with value comparisons.
+
+Selections are **bit-identical** to both other trackers (and so to the
+reference :class:`~repro.cds.gain.GainTracker`) under every tie-break
+mode; the randomized suite in ``tests/cds/test_array_gain.py`` pins the
+full ``(node, gain)`` sequence across all three kernels.  Counters:
+``gain.dsu_unions`` keeps its per-merge meaning, ``gain.evaluations``
+counts re-scored candidates, and the vector paths report
+``array.rescore_batches`` / ``array.gather_elements``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, TypeVar
+
+import numpy as np
+
+from ..graphs.array import ArrayGraph, gather_rows
+from ..graphs.bitset import value_sort_keys
+from ..obs import OBS
+from .gain import _smaller
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = ["ArrayGainTracker"]
+
+
+class ArrayGainTracker:
+    """Incremental components of ``G[I ∪ U]`` on numpy CSR arrays.
+
+    Same constructor contract, :meth:`add` / :meth:`best_connector`
+    semantics and error cases as the other trackers; only the data
+    layout (dense numpy arrays, batched re-scoring) differs.
+
+    Args:
+        array: the array-kernel view of the full topology ``G``.
+        dominators: the phase-1 MIS ``I`` (any dominating set works;
+            adjacent dominator pairs are merged permissively).
+    """
+
+    __slots__ = (
+        "_array",
+        "_index",
+        "_indptr",
+        "_indices",
+        "_n",
+        "_order",
+        "_valrank",
+        "_value_ranked",
+        "_included",
+        "_included_count",
+        "_dominators",
+        "_comp_id",
+        "_members",
+        "_components",
+        "_watchers",
+        "_gains",
+        "_pending",
+        "_heaps",
+        "_degrees",
+    )
+
+    def __init__(self, array: ArrayGraph[N], dominators: Iterable[N]):
+        self._array = array
+        index = array.indexed
+        self._index = index
+        indptr = array.indptr
+        indices = array.indices
+        self._indptr = indptr
+        self._indices = indices
+        n = len(index)
+        self._n = n
+        nodes = index.nodes
+        # Tie-break rank space: ascending node-value order when the
+        # nodes admit one (heap entries then order by rank), id order
+        # plus explicit value comparisons otherwise.
+        try:
+            order = sorted(range(n), key=value_sort_keys(nodes).__getitem__)
+            value_ranked = True
+        except TypeError:
+            order = list(range(n))
+            value_ranked = False
+        self._order = order
+        self._value_ranked = value_ranked
+        valrank = [0] * n
+        for r, i in enumerate(order):
+            valrank[i] = r
+        self._valrank = valrank
+
+        dom_ids = []
+        for d in dominators:
+            if d not in index:
+                raise KeyError(f"dominator {d!r} not in graph")
+            dom_ids.append(index.id_of(d))
+        if not dom_ids:
+            raise ValueError("dominator set must be non-empty")
+        included = np.zeros(n, dtype=bool)
+        dom_arr = np.array(sorted(set(dom_ids)), dtype=np.int64)
+        included[dom_arr] = True
+        self._included = included
+        self._included_count = int(dom_arr.size)
+        self._dominators = frozenset(nodes[int(i)] for i in dom_arr)
+
+        # Components of G[I]: one per dominator, minus permissive merges
+        # of adjacent (non-independent) dominator pairs.  comp_id labels
+        # every included id with its root eagerly; members lists back
+        # the weighted relabel.
+        comp_id = np.arange(n, dtype=np.int64)
+        self._comp_id = comp_id
+        members: dict[int, list[int]] = {int(i): [int(i)] for i in dom_arr}
+        self._members = members
+        self._components = self._included_count
+        nbrs, counts = gather_rows(indptr, indices, dom_arr)
+        inc_mask = included[nbrs]
+        if inc_mask.any():
+            # A proper MIS has no included-included arcs; this loop only
+            # runs for permissive (non-independent) dominating sets.
+            owners = np.repeat(dom_arr, counts)[inc_mask]
+            for v, u in zip(owners.tolist(), nbrs[inc_mask].tolist()):
+                self._merge_pair(int(v), int(u))
+
+        #: dense gain cache; exact for every scored, non-pending id.
+        self._gains = np.zeros(n, dtype=np.int64)
+        #: root id -> candidate ids whose cached gain counted it (may
+        #: hold stale duplicates; filtered on pop).
+        self._watchers: dict[int, list[int]] = {}
+        #: invalidated-candidate chunks awaiting the next batch rescore;
+        #: seeded with the whole initial frontier N(I) \\ I.
+        self._pending: list[np.ndarray] = [np.unique(nbrs[~inc_mask])]
+        #: per-tie-break lazy max-heaps, created on first use.
+        self._heaps: dict[str, list] = {}
+        self._degrees: list[int] | None = None
+
+    def _merge_pair(self, v: int, u: int) -> None:
+        """Union the components of two included ids (init-time only)."""
+        comp_id = self._comp_id
+        rv, ru = int(comp_id[v]), int(comp_id[u])
+        if rv == ru:
+            return
+        members = self._members
+        if len(members[rv]) < len(members[ru]):
+            rv, ru = ru, rv
+        moved = members.pop(ru)
+        comp_id[np.array(moved, dtype=np.int64)] = rv
+        members[rv].extend(moved)
+        self._components -= 1
+
+    # -- read API (mirrors LazyGainTracker) ------------------------------------
+
+    @property
+    def included(self) -> frozenset:
+        """``I ∪ U`` so far, as original node objects."""
+        nodes = self._index.nodes
+        return frozenset(
+            nodes[int(i)] for i in np.flatnonzero(self._included)
+        )
+
+    @property
+    def dominators(self) -> frozenset:
+        return self._dominators
+
+    @property
+    def component_count(self) -> int:
+        """``q(U)`` for the current ``U``."""
+        return self._components
+
+    def adjacent_components(self, w: N) -> set:
+        """Roots of the components of ``G[I ∪ U]`` adjacent to ``w``.
+
+        Roots are original node objects (of arbitrary representatives),
+        one per adjacent component.
+        """
+        nodes = self._index.nodes
+        return {
+            nodes[int(r)] for r in self._roots_of(self._index.id_of(w))
+        }
+
+    def gain(self, w: N) -> int:
+        """``Δ_w q(U)`` for the current ``U`` (computed fresh)."""
+        wi = self._index.id_of(w)
+        if self._included[wi]:
+            return 0
+        return max(0, self._roots_of(wi).size - 1)
+
+    def _roots_of(self, wi: int) -> np.ndarray:
+        nbrs = self._indices[self._indptr[wi] : self._indptr[wi + 1]]
+        return np.unique(self._comp_id[nbrs[self._included[nbrs]]])
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, w: N) -> int:
+        """Add ``w`` to ``U`` and return the gain it realized.
+
+        Merges ``w`` with its adjacent components (weighted relabel
+        into the largest part) and queues for re-scoring exactly the
+        candidates whose count could have changed: the watchers of
+        every merged non-base root, plus ``N(w)``.
+
+        Raises:
+            ValueError: if ``w`` is already included.
+        """
+        index = self._index
+        wi = int(index.id_of(w))
+        included = self._included
+        if included[wi]:
+            raise ValueError(f"{w!r} already included")
+        roots = self._roots_of(wi)
+
+        comp_id = self._comp_id
+        members = self._members
+        watchers = self._watchers
+        pending = self._pending
+        # Base: the largest merging part (w's fresh singleton included),
+        # ties to the smallest root id for determinism.
+        base = wi
+        base_size = 1
+        for r in roots.tolist():
+            size = len(members[r])
+            if size > base_size or (size == base_size and r < base):
+                base, base_size = r, size
+        if base == wi:
+            members[wi] = [wi]
+        else:
+            comp_id[wi] = base
+            members[base].append(wi)
+        for r in roots.tolist():
+            if r == base:
+                continue
+            moved = members.pop(r)
+            comp_id[np.array(moved, dtype=np.int64)] = base
+            members[base].extend(moved)
+            stale = watchers.pop(r, None)
+            if stale:
+                pending.append(np.array(stale, dtype=np.int64))
+
+        included[wi] = True
+        self._included_count += 1
+        merged = int(roots.size)
+        self._components += 1 - merged
+
+        nbrs = self._indices[self._indptr[wi] : self._indptr[wi + 1]]
+        fresh = nbrs[~included[nbrs]]
+        if fresh.size:
+            pending.append(fresh)
+        if OBS.enabled:
+            OBS.incr("gain.dsu_unions", merged)
+        return max(0, merged - 1)
+
+    # -- selection ------------------------------------------------------------
+
+    def _rescore_pending(self) -> None:
+        """Re-score every queued candidate as one vectorized batch."""
+        pending = self._pending
+        if not pending:
+            return
+        cand = np.unique(np.concatenate(pending))
+        pending.clear()
+        included = self._included
+        cand = cand[~included[cand]]
+        if not cand.size:
+            return
+        n = self._n
+        nbrs, counts = gather_rows(self._indptr, self._indices, cand)
+        inc_mask = included[nbrs]
+        owners = np.repeat(np.arange(cand.size, dtype=np.int64), counts)[inc_mask]
+        roots = self._comp_id[nbrs[inc_mask]]
+        # Distinct (candidate, root) pairs -> adjacent-component counts.
+        pairs = np.unique(owners * n + roots)
+        pair_owner = pairs // n
+        cnt = np.bincount(pair_owner, minlength=cand.size)
+        gains = np.maximum(cnt - 1, 0)
+        self._gains[cand] = gains
+        # Register watchers for candidates with >= 2 adjacent parts
+        # (gain-0 candidates cannot lose a part without it merging into
+        # another part of theirs, and gaining one goes through N(w)).
+        multi = cnt[pair_owner] >= 2
+        if multi.any():
+            watchers = self._watchers
+            reg_c = cand[pair_owner[multi]].tolist()
+            reg_r = (pairs[multi] % n).tolist()
+            for c, r in zip(reg_c, reg_r):
+                lst = watchers.get(r)
+                if lst is None:
+                    watchers[r] = [c]
+                else:
+                    lst.append(c)
+        if self._heaps:
+            pos = np.flatnonzero(gains >= 1)
+            if pos.size:
+                ids = cand[pos].tolist()
+                gs = gains[pos].tolist()
+                for tie_break, heap in self._heaps.items():
+                    push = heapq.heappush
+                    for c, g in zip(ids, gs):
+                        push(heap, self._entry(tie_break, c, g))
+        if OBS.enabled:
+            OBS.incr("gain.evaluations", int(cand.size))
+            OBS.incr("array.rescore_batches")
+            OBS.incr("array.gather_elements", int(nbrs.size))
+
+    def _entry(self, tie_break: str, c: int, g: int) -> tuple:
+        valrank = self._valrank
+        if tie_break == "min":
+            return (-g, valrank[c], c)
+        if tie_break == "max":
+            return (-g, -valrank[c], c)
+        degrees = self._degrees
+        if degrees is None:
+            degree = self._index.degree
+            degrees = self._degrees = [degree(i) for i in range(self._n)]
+        return (-g, -degrees[c], valrank[c], c)
+
+    def _heap_for(self, tie_break: str) -> list:
+        heap = self._heaps.get(tie_break)
+        if heap is None:
+            gains = self._gains
+            live = np.flatnonzero((gains >= 1) & ~self._included)
+            heap = [
+                self._entry(tie_break, int(c), int(gains[c])) for c in live
+            ]
+            heapq.heapify(heap)
+            self._heaps[tie_break] = heap
+        return heap
+
+    def best_connector(self, tie_break: str = "min") -> tuple[N, int]:
+        """The not-yet-included node of maximum gain.
+
+        Same argmax, tie-break semantics ("min" / "max" / "degree") and
+        error cases as the other trackers.  Queued invalidations are
+        re-scored in one vectorized batch, then the per-tie-break heap
+        yields the winner after discarding entries the batch outdated.
+        """
+        if tie_break not in ("min", "max", "degree"):
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        if self._components <= 1:
+            raise ValueError("already connected; no connector needed")
+        self._rescore_pending()
+        if not self._value_ranked:
+            return self._scan_unranked(tie_break)
+        heap = self._heap_for(tie_break)
+        gains = self._gains
+        included = self._included
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            c = entry[-1]
+            g = -entry[0]
+            if included[c] or gains[c] != g:
+                pop(heap)
+                continue
+            return self._index.nodes[c], g
+        raise ValueError(
+            "no node with positive gain: dominators lack 2-hop separation "
+            "or the graph is disconnected"
+        )
+
+    def _scan_unranked(self, tie_break: str) -> tuple[N, int]:
+        """Explicit ascending-id argmax for unorderable node mixes —
+        the comparison structure of :meth:`LazyGainTracker.best_connector`."""
+        gains = self._gains
+        nodes = self._index.nodes
+        degree = self._index.degree
+        best_id = -1
+        best_gain = 0
+        for c in np.flatnonzero((gains >= 1) & ~self._included).tolist():
+            g = int(gains[c])
+            if g > best_gain:
+                best_id, best_gain = c, g
+                continue
+            if g != best_gain:
+                continue
+            if tie_break == "min":
+                wins = _smaller(nodes[c], nodes[best_id])
+            elif tie_break == "max":
+                wins = _smaller(nodes[best_id], nodes[c])
+            else:
+                ca, cb = degree(c), degree(best_id)
+                wins = ca > cb or (
+                    ca == cb and _smaller(nodes[c], nodes[best_id])
+                )
+            if wins:
+                best_id = c
+        if best_id < 0 or best_gain < 1:
+            raise ValueError(
+                "no node with positive gain: dominators lack 2-hop separation "
+                "or the graph is disconnected"
+            )
+        return nodes[best_id], best_gain

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, TypeVar
 
-from ..graphs.bitset import BitsetGraph, build_kernel
+from ..graphs.array import ArrayGraph
+from ..graphs.backend import build_kernel, gain_tracker
+from ..graphs.bitset import BitsetGraph
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
 from ..mis.first_fit import _smallest_node, first_fit_mis_nodes
 from ..obs import OBS, trace
 from .base import CDSResult
-from .bitset_gain import BitsetGainTracker
-from .lazy_gain import LazyGainTracker
 
 N = TypeVar("N", bound=Hashable)
 
@@ -35,18 +35,21 @@ def greedy_connectors(
     graph: Graph[N],
     dominators: Iterable[N],
     tie_break: str = "min",
-    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N] | None = None,
 ) -> tuple[list[N], list[int], list[int]]:
     """Run the greedy phase 2 on an already-chosen dominating set.
 
-    Selection runs on :class:`~repro.cds.lazy_gain.LazyGainTracker` —
-    or, when ``index`` is a bitset view, on
-    :class:`~repro.cds.bitset_gain.BitsetGainTracker` — both
-    candidate-restricted, cache-invalidating, and bit-identical to the
-    reference :class:`~repro.cds.gain.GainTracker` rescan under every
-    tie-break mode (the randomized suites in
-    ``tests/cds/test_lazy_gain.py`` and ``tests/cds/test_bitset.py``
-    hold the trackers to the same ``(node, gain)`` sequence).
+    Selection runs on the gain tracker matching ``index``'s kernel
+    (:func:`repro.graphs.backend.gain_tracker`:
+    :class:`~repro.cds.lazy_gain.LazyGainTracker` on the CSR view,
+    :class:`~repro.cds.bitset_gain.BitsetGainTracker` on the bitset
+    view, :class:`~repro.cds.array_gain.ArrayGainTracker` on the array
+    view) — all candidate-restricted, cache-invalidating, and
+    bit-identical to the reference :class:`~repro.cds.gain.GainTracker`
+    rescan under every tie-break mode (the randomized suites in
+    ``tests/cds/test_lazy_gain.py``, ``tests/cds/test_bitset.py`` and
+    ``tests/cds/test_array_gain.py`` hold the trackers to the same
+    ``(node, gain)`` sequence).
 
     Args:
         graph: the connected topology.
@@ -54,9 +57,9 @@ def greedy_connectors(
             separation property works; Lemma 9 needs it).
         tie_break: gain tie resolution ("min" / "max" / "degree"),
             forwarded to the tracker's ``best_connector``.
-        index: optional prebuilt CSR or bitset view of ``graph``; a CSR
-            view is built here when absent (callers running several
-            phases should build one kernel once and thread it through).
+        index: optional prebuilt kernel view of ``graph``; a CSR view
+            is built here when absent (callers running several phases
+            should build one kernel once and thread it through).
 
     Returns:
         ``(connectors, gain_history, q_history)`` where ``q_history[i]``
@@ -65,10 +68,7 @@ def greedy_connectors(
     """
     if index is None:
         index = IndexedGraph.from_graph(graph)
-    if isinstance(index, BitsetGraph):
-        tracker = BitsetGainTracker(index, dominators)
-    else:
-        tracker = LazyGainTracker(index, dominators)
+    tracker = gain_tracker(index, dominators)
     connectors: list[N] = []
     gains: list[int] = []
     q_values: list[int] = [tracker.component_count]
@@ -97,9 +97,10 @@ def greedy_connector_cds(
         root: phase-1 tree root / leader; defaults to the smallest node.
         tie_break: gain tie resolution ("min" / "max" / "degree").
         kernel: graph-kernel selection for the hot loops — one of
-            :data:`~repro.graphs.bitset.KERNELS`.  ``"auto"`` (default)
-            picks by instance size; the result is identical under every
-            kernel.
+            :data:`~repro.graphs.backend.KERNELS`.  ``"auto"`` (default)
+            picks by instance size (the three-way table in
+            :func:`~repro.graphs.backend.choose_kernel`); the result is
+            identical under every kernel.
 
     Returns:
         :class:`CDSResult` with ``meta['gain_history']`` and

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from typing import Hashable, TypeVar
 
-from ..graphs.bitset import BitsetGraph, build_kernel, mask_of
+import numpy as np
+
+from ..graphs.array import ArrayGraph, gather_rows
+from ..graphs.backend import build_kernel
+from ..graphs.bitset import BitsetGraph, mask_of
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
 from ..mis.first_fit import FirstFitMIS, first_fit_mis
@@ -37,18 +41,20 @@ __all__ = ["waf_cds", "waf_connectors"]
 def waf_connectors(
     graph: Graph[N],
     mis: FirstFitMIS,
-    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N] | None = None,
 ) -> list[N]:
     """Phase 2 of WAF: ``{s}`` plus tree parents of ``I \\ I(s)``.
 
     Returns the connectors in a deterministic order (``s`` first, then
     parents in MIS selection order, deduplicated).  ``index`` optionally
-    supplies a prebuilt CSR or bitset view of ``graph`` so the coverage
-    scan runs on flat arrays with a byte-mask MIS membership test — or,
-    on the bitset kernel, as one AND-plus-popcount per candidate against
-    the MIS mask; the selected ``s`` (and hence the connectors) is
-    identical either way.  Each candidate's coverage is computed exactly
-    once, so ``waf.coverage_evaluations`` equals the root's degree.
+    supplies a prebuilt kernel view of ``graph`` so the coverage scan
+    runs on flat arrays with a byte-mask MIS membership test — on the
+    bitset kernel, as one AND-plus-popcount per candidate against the
+    MIS mask; on the array kernel, as one gather-plus-bincount over all
+    candidates at once; the selected ``s`` (and hence the connectors)
+    is identical every way.  Each candidate's coverage is computed
+    exactly once, so ``waf.coverage_evaluations`` equals the root's
+    degree.
     """
     tree = mis.tree
     root = tree.root
@@ -66,6 +72,17 @@ def waf_connectors(
         if OBS.enabled:
             OBS.incr("bitset.word_ops", len(root_neighbors) * index.words)
             OBS.incr("bitset.popcounts", len(root_neighbors))
+    elif isinstance(index, ArrayGraph):
+        id_of = index.id_of
+        in_mis = np.zeros(len(index), dtype=bool)
+        in_mis[np.fromiter((id_of(v) for v in mis_set), dtype=np.int64)] = True
+        ids = np.fromiter((id_of(u) for u in root_neighbors), dtype=np.int64)
+        nbrs, counts = gather_rows(index.indptr, index.indices, ids)
+        hits = in_mis[nbrs]
+        owners = np.repeat(np.arange(ids.size, dtype=np.int64), counts)
+        coverages = np.bincount(owners[hits], minlength=ids.size).tolist()
+        if OBS.enabled:
+            OBS.incr("array.gather_elements", int(nbrs.size))
     elif index is not None:
         indptr, indices = index.indptr, index.indices
         in_mis = bytearray(len(index))
@@ -120,13 +137,14 @@ def waf_cds(
         tree_kind: spanning tree driving phase 1 ("bfs" per [10], or
             "dfs" — Section III allows an arbitrary rooted tree).
         kernel: graph-kernel selection for the hot loops — one of
-            :data:`~repro.graphs.bitset.KERNELS`.  ``"auto"`` (default)
+            :data:`~repro.graphs.backend.KERNELS`.  ``"auto"`` (default)
             resolves to the CSR kernel at every size: WAF's coverage
             scan walks short adjacency rows and is not mask-bound, so
-            the bitset build never pays for itself here (see
-            ``docs/performance.md`` §large-n).  Pass ``"bitset"``
-            explicitly to exercise the mask-based coverage scan; the
-            result is identical under every kernel.
+            neither accelerated kernel's build pays for itself here
+            (see ``docs/performance.md`` §large-n).  Pass ``"bitset"``
+            or ``"array"`` explicitly to exercise the mask-based or
+            vectorized coverage scan; the result is identical under
+            every kernel.
 
     Returns:
         A validated-shape :class:`CDSResult` with ``dominators`` the

@@ -326,8 +326,9 @@ def _serve_client_main(argv: Sequence[str]) -> int:
         help="construction algorithm (default: greedy)",
     )
     parser.add_argument(
-        "--kernel", default="auto", choices=("auto", "indexed", "bitset"),
-        help="graph kernel for the kernelized solvers",
+        "--kernel", default="auto", choices=("auto", "indexed", "bitset", "array"),
+        help="graph kernel for the kernelized solvers "
+        "(auto picks by instance size)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
@@ -775,7 +776,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--kernel",
         default="auto",
-        choices=("auto", "indexed", "bitset"),
+        choices=("auto", "indexed", "bitset", "array"),
         help="graph kernel for the kernelized solvers (results are "
         "identical under every kernel)",
     )
@@ -1031,12 +1032,13 @@ def _solve_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "--kernel",
         default="auto",
-        choices=("auto", "indexed", "bitset"),
+        choices=("auto", "indexed", "bitset", "array"),
         help=(
             "graph kernel for the solver's hot loops: 'auto' (default) "
             "picks by algorithm and instance size, 'indexed' forces the "
-            "CSR arrays, 'bitset' the neighborhood bitmasks; results "
-            "are identical under every kernel"
+            "CSR arrays, 'bitset' the neighborhood bitmasks, 'array' "
+            "the vectorized numpy buffers; results are identical under "
+            "every kernel"
         ),
     )
     parser.add_argument("--out", metavar="FILE", help="write the result as JSON")

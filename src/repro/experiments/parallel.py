@@ -187,7 +187,8 @@ def solve_cell(
     ``algorithm`` is a key of the CLI solver registry (``"greedy"``,
     ``"waf"``, a baseline name, ...).  ``kernel`` optionally pins the
     graph kernel of the kernelized solvers (``"indexed"`` /
-    ``"bitset"``; results are identical under every kernel) and is
+    ``"bitset"`` / ``"array"``; results are identical under every
+    kernel) and is
     echoed in the summary; ``None`` leaves the solver's default and
     the summary shape exactly as before.
 

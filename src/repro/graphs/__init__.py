@@ -3,14 +3,20 @@
 from .graph import Graph
 from .components import IntUnionFind, UnionFind
 from .indexed import IndexedGraph
-from .bitset import (
+from .array import ArrayGraph, gather_rows
+from .backend import (
+    ARRAY_AUTO_N,
     BITSET_AUTO_N,
     KERNELS,
+    Backend,
+    build_kernel,
+    choose_kernel,
+    gain_tracker,
+)
+from .bitset import (
     BitsetGraph,
     DominationTracker,
     bit_indices,
-    build_kernel,
-    choose_kernel,
     iter_bits,
     mask_of,
     popcount,
@@ -32,6 +38,7 @@ from .udg import (
     quasi_unit_disk_graph,
     unit_disk_graph,
     unit_disk_graph_naive,
+    unit_disk_graph_vectorized,
 )
 from .generators import (
     chain_points,
@@ -60,13 +67,18 @@ __all__ = [
     "IndexedGraph",
     "IntUnionFind",
     "UnionFind",
+    "ARRAY_AUTO_N",
     "BITSET_AUTO_N",
     "KERNELS",
+    "ArrayGraph",
+    "Backend",
     "BitsetGraph",
     "DominationTracker",
     "bit_indices",
     "build_kernel",
     "choose_kernel",
+    "gain_tracker",
+    "gather_rows",
     "iter_bits",
     "mask_of",
     "popcount",
@@ -84,6 +96,7 @@ __all__ = [
     "quasi_unit_disk_graph",
     "unit_disk_graph",
     "unit_disk_graph_naive",
+    "unit_disk_graph_vectorized",
     "chain_points",
     "clustered_points",
     "corridor_points",

@@ -1,0 +1,193 @@
+"""The kernel backend protocol: one contract, three representations.
+
+Every solver phase in this codebase runs on a *kernel view* of the
+topology — a frozen, integer-indexed snapshot built once per run and
+threaded through every ``index=`` seam.  PR 2 and PR 3 grew two such
+kernels and PR 7 a third; this module makes the contract they share
+explicit so algorithms stop caring which one they run on:
+
+* :class:`~repro.graphs.indexed.IndexedGraph` — CSR adjacency as
+  Python lists.  Cheapest to build, fastest below a few hundred nodes.
+* :class:`~repro.graphs.bitset.BitsetGraph` — neighborhoods as big-int
+  bitmasks.  Word-parallel set algebra; masks cost ``n²/8`` bytes, so
+  it owns the mid range (``~600 ≤ n < ~20 000``).
+* :class:`~repro.graphs.array.ArrayGraph` — CSR adjacency as numpy
+  ``int64`` buffers.  Vectorized frontier/batch operations with ``O(E)``
+  memory; owns the large range (``n ≥ ~20 000`` through 10⁶).
+
+The :class:`Backend` protocol names the surface every kernel provides
+(id interning, degrees, BFS/components); construction and per-kernel
+algorithm dispatch go through the module-level functions —
+:func:`choose_kernel` (the three-way auto table), :func:`build_kernel`
+(graph → chosen view), and :func:`gain_tracker` (view → the matching
+greedy-CDS gain tracker).  Selections and traversals are
+**bit-identical across kernels** at every size — that invariant is what
+lets ``"auto"`` exist at all (serve's cache, checkpoint resume, and the
+counter gates all rely on results not depending on the kernel) — so the
+table is purely a performance decision; see ``docs/performance.md`` for
+the measured crossovers and ``docs/architecture.md`` for where the
+protocol sits in the stack.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Hashable,
+    Iterable,
+    Protocol,
+    TypeVar,
+    runtime_checkable,
+)
+
+from .graph import Graph
+from .indexed import IndexedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..cds.array_gain import ArrayGainTracker
+    from ..cds.bitset_gain import BitsetGainTracker
+    from ..cds.lazy_gain import LazyGainTracker
+    from .array import ArrayGraph
+    from .bitset import BitsetGraph
+
+N = TypeVar("N", bound=Hashable)
+
+__all__ = [
+    "ARRAY_AUTO_N",
+    "BITSET_AUTO_N",
+    "KERNELS",
+    "Backend",
+    "build_kernel",
+    "choose_kernel",
+    "gain_tracker",
+]
+
+#: Node count at which ``kernel="auto"`` switches from the CSR kernel
+#: to the bitset kernel.  Below it the mask builds cost more than the
+#: word-parallel scans save (measured crossover is between the 150- and
+#: 1000-node fixtures; see ``docs/performance.md`` §large-n).
+BITSET_AUTO_N = 600
+
+#: Node count at which ``kernel="auto"`` switches from the bitset
+#: kernel to the array kernel.  Beyond it the bitset's ``n²/8``-byte
+#: masks and ``⌈n/64⌉``-word per-round scans lose to numpy's O(E)
+#: buffers and batched vector calls (measured crossover is between the
+#: udg10000 and udg100000 fixtures; see ``docs/performance.md``).
+ARRAY_AUTO_N = 20000
+
+#: Valid ``kernel=`` arguments, CLI ``--kernel`` choices included.
+KERNELS = ("auto", "indexed", "bitset", "array")
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """The read surface every graph kernel provides.
+
+    A ``Backend`` is a frozen view of one topology with dense integer
+    ids ``0..n-1``: node interning at the boundary, O(1) degree/size
+    queries, and order-preserving traversals (BFS visit order equals
+    the dict-based reference's, which is what keeps results
+    bit-identical across kernels).  :class:`IndexedGraph`,
+    :class:`~repro.graphs.bitset.BitsetGraph` and
+    :class:`~repro.graphs.array.ArrayGraph` all satisfy it — build one
+    with :func:`build_kernel` and thread it through every phase of a
+    run.
+
+    Kernel-specific *algorithm* structures hang off the view rather
+    than living on it: gain trackers via :func:`gain_tracker`,
+    domination/coverage scans inside :mod:`repro.mis.first_fit`, each
+    dispatching on the concrete view type behind this one protocol.
+    """
+
+    @property
+    def nodes(self) -> tuple: ...
+
+    def id_of(self, node) -> int: ...
+
+    def node_at(self, i: int): ...
+
+    def __contains__(self, node) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def degree(self, i: int) -> int: ...
+
+    def edge_count(self) -> int: ...
+
+    def bfs(self, root: int) -> tuple[list[int], list[int], list[int]]: ...
+
+    def bfs_order(self, root: int) -> list[int]: ...
+
+    def connected_components(self) -> list[list[int]]: ...
+
+    def is_connected(self) -> bool: ...
+
+
+def choose_kernel(n: int, kernel: str = "auto", auto_bitset: bool = True) -> str:
+    """Resolve a ``kernel=`` argument to ``"indexed"``, ``"bitset"``,
+    or ``"array"``.
+
+    ``"auto"`` reads the three-way size table: the CSR kernel below
+    :data:`BITSET_AUTO_N` nodes, the bitset kernel from there up to
+    :data:`ARRAY_AUTO_N`, and the numpy array kernel beyond.  A solver
+    whose hot loop does not profit from the accelerated kernels at any
+    size (WAF's coverage scan walks short CSR rows faster than it
+    popcounts masks or amortizes vector-call overhead at UDG-typical
+    degrees) passes ``auto_bitset=False`` to keep ``"auto"`` on the CSR
+    kernel; explicit kernel names are always honored.
+
+    Raises:
+        ValueError: on an unknown kernel name.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    if kernel != "auto":
+        return kernel
+    if not auto_bitset or n < BITSET_AUTO_N:
+        return "indexed"
+    return "array" if n >= ARRAY_AUTO_N else "bitset"
+
+
+def build_kernel(
+    graph: Graph[N], kernel: str = "auto", auto_bitset: bool = True
+) -> "IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N]":
+    """Build the chosen kernel view of ``graph`` (one pass, shared by
+    every phase of a solver run)."""
+    index = IndexedGraph.from_graph(graph)
+    chosen = choose_kernel(len(index), kernel, auto_bitset)
+    if chosen == "bitset":
+        from .bitset import BitsetGraph
+
+        return BitsetGraph.from_indexed(index)
+    if chosen == "array":
+        from .array import ArrayGraph
+
+        return ArrayGraph.from_indexed(index)
+    return index
+
+
+def gain_tracker(
+    index: Backend, dominators: Iterable[N]
+) -> "LazyGainTracker | BitsetGainTracker | ArrayGainTracker":
+    """The greedy-CDS gain tracker matching the kernel of ``index``.
+
+    All three trackers share one contract (constructor errors,
+    ``add`` / ``best_connector`` semantics, ``gain.*`` counters) and
+    produce bit-identical ``(node, gain)`` selection sequences; the
+    randomized equivalence suites in ``tests/cds/`` pin that.  Imports
+    are call-time because the trackers live above the graph layer.
+    """
+    from .array import ArrayGraph
+    from .bitset import BitsetGraph
+
+    if isinstance(index, BitsetGraph):
+        from ..cds.bitset_gain import BitsetGainTracker
+
+        return BitsetGainTracker(index, dominators)
+    if isinstance(index, ArrayGraph):
+        from ..cds.array_gain import ArrayGainTracker
+
+        return ArrayGainTracker(index, dominators)
+    from ..cds.lazy_gain import LazyGainTracker
+
+    return LazyGainTracker(index, dominators)

@@ -19,9 +19,11 @@ scan wants: the still-uncovered node set.  The module-level primitives
 :func:`mask_of`) are the shared vocabulary of every bitset hot path.
 
 Masks cost ``⌈n/8⌉`` bytes per node (≈1.25 KB at ``n = 10 000``, so
-≈12.5 MB per full mask set); :func:`choose_kernel` picks the
-representation per instance size — see ``docs/performance.md`` §large-n
-for the measured crossover.
+≈12.5 MB per full mask set); kernel selection lives in
+:mod:`repro.graphs.backend` (:func:`choose_kernel`'s three-way auto
+table picks the representation per instance size — see
+``docs/performance.md`` for the measured crossovers).  The selection
+helpers are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -30,12 +32,20 @@ from typing import Generic, Hashable, Iterator, Sequence, TypeVar
 
 from ..geometry.point import Point
 from ..obs import OBS
+from .backend import (  # noqa: F401  (re-exported: historical home)
+    ARRAY_AUTO_N,
+    BITSET_AUTO_N,
+    KERNELS,
+    build_kernel,
+    choose_kernel,
+)
 from .graph import Graph
 from .indexed import IndexedGraph
 
 N = TypeVar("N", bound=Hashable)
 
 __all__ = [
+    "ARRAY_AUTO_N",
     "BITSET_AUTO_N",
     "KERNELS",
     "BitsetGraph",
@@ -48,15 +58,6 @@ __all__ = [
     "popcount",
     "value_sort_keys",
 ]
-
-#: Node count at which ``kernel="auto"`` switches from the CSR kernel
-#: to the bitset kernel.  Below it the mask builds cost more than the
-#: word-parallel scans save (measured crossover is between the 150- and
-#: 1000-node fixtures; see ``docs/performance.md`` §large-n).
-BITSET_AUTO_N = 600
-
-#: Valid ``kernel=`` arguments, CLI ``--kernel`` choices included.
-KERNELS = ("auto", "indexed", "bitset")
 
 #: Bit positions set in each possible byte value — the lookup table
 #: behind :func:`bit_indices` / :func:`iter_bits`.
@@ -256,6 +257,21 @@ class BitsetGraph(Generic[N]):
     def edge_count(self) -> int:
         return self.indexed.edge_count()
 
+    def bfs(self, root: int) -> tuple[list[int], list[int], list[int]]:
+        """Order-preserving BFS, delegated to the CSR view (a
+        frontier-OR bitset BFS would visit neighbors in ascending-id
+        order, not adjacency insertion order, breaking bit-identity)."""
+        return self.indexed.bfs(root)
+
+    def bfs_order(self, root: int) -> list[int]:
+        return self.indexed.bfs_order(root)
+
+    def connected_components(self) -> list[list[int]]:
+        return self.indexed.connected_components()
+
+    def is_connected(self) -> bool:
+        return self.indexed.is_connected()
+
     # -- bitset queries -------------------------------------------------------
 
     def neighbor_mask(self, i: int) -> int:
@@ -369,34 +385,3 @@ class DominationTracker:
             OBS.incr("bitset.word_ops", 3 * self._bitset.words)
             OBS.incr("bitset.popcounts")
         return count
-
-
-def choose_kernel(n: int, kernel: str = "auto", auto_bitset: bool = True) -> str:
-    """Resolve a ``kernel=`` argument to ``"indexed"`` or ``"bitset"``.
-
-    ``"auto"`` picks the bitset kernel from :data:`BITSET_AUTO_N` nodes
-    up and the CSR kernel below it.  A solver whose hot loop does not
-    profit from masks at any size (WAF's coverage scan walks short CSR
-    rows faster than it popcounts ``⌈n/64⌉``-word masks at UDG-typical
-    degrees) passes ``auto_bitset=False`` to keep ``"auto"`` on the CSR
-    kernel; explicit kernel names are always honored.
-
-    Raises:
-        ValueError: on an unknown kernel name.
-    """
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
-    if kernel == "auto":
-        return "bitset" if auto_bitset and n >= BITSET_AUTO_N else "indexed"
-    return kernel
-
-
-def build_kernel(
-    graph: Graph[N], kernel: str = "auto", auto_bitset: bool = True
-) -> IndexedGraph[N] | BitsetGraph[N]:
-    """Build the chosen kernel view of ``graph`` (one pass, shared by
-    every phase of a solver run)."""
-    index = IndexedGraph.from_graph(graph)
-    if choose_kernel(len(index), kernel, auto_bitset) == "bitset":
-        return BitsetGraph.from_indexed(index)
-    return index

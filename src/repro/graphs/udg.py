@@ -25,6 +25,9 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
+from .._optional import optional_module, require_module
 from ..geometry.point import EPS, Point
 from ..obs import OBS, trace
 from .graph import Graph
@@ -32,6 +35,7 @@ from .graph import Graph
 __all__ = [
     "unit_disk_graph",
     "unit_disk_graph_naive",
+    "unit_disk_graph_vectorized",
     "quasi_unit_disk_graph",
     "communication_radius_graph",
 ]
@@ -42,6 +46,28 @@ __all__ = [
 #: measured grid ~1.4x slower than naive at n=20; the two cross over
 #: around n≈30 at benchmark densities).
 GRID_SMALL_N = 32
+
+#: At and above this node count :func:`unit_disk_graph` dispatches to
+#: :func:`unit_disk_graph_vectorized`: per-pair interpreted loops stop
+#: being viable around the same size the array kernel takes over
+#: solving (:data:`repro.graphs.backend.ARRAY_AUTO_N`), and the
+#: vectorized builder's numpy setup is amortized well before that.
+GRID_VECTOR_N = 20000
+
+#: The half-neighborhood the grid builder scans (each unordered cell
+#: pair visited once); the vectorized builder replays the same buckets
+#: in the same order.
+_GRID_DIRECTIONS = ((1, -1), (1, 0), (1, 1), (0, 1))
+
+#: Emission-phase lookup for the vectorized builder's KD-tree path:
+#: ``_PHASE_OF[dcx + 1, dcy + 1]`` is the 1-based index of ``(dcx,
+#: dcy)`` in :data:`_GRID_DIRECTIONS`, 0 for the same cell and for
+#: reversed directions (whose pairs are emitted by the other endpoint's
+#: cell).
+_PHASE_OF = np.zeros((3, 3), dtype=np.int64)
+for _d, (_ox, _oy) in enumerate(_GRID_DIRECTIONS, start=1):
+    _PHASE_OF[_ox + 1, _oy + 1] = _d
+del _d, _ox, _oy
 
 
 def _all_pairs_scan(pts: list[Point], graph: Graph[Point], r_sq: float) -> None:
@@ -95,10 +121,18 @@ def unit_disk_graph(
     counter names (with truthful all-pairs values), and output there is
     bit-identical to the naive builder's, adjacency order included.
 
+    At and above :data:`GRID_VECTOR_N` nodes the builder dispatches to
+    :func:`unit_disk_graph_vectorized` — bit-identical output again
+    (node order, adjacency order, everything), with the pair testing
+    done in numpy (or scipy's ``cKDTree`` when installed) instead of
+    per-pair interpreted loops.
+
     Duplicate points are rejected: two radios at the same coordinates
     would be a single node in the UDG model and silently merging them
     corrupts size accounting.
     """
+    if len(points) >= GRID_VECTOR_N:
+        return unit_disk_graph_vectorized(points, radius, tol)
     pts = _checked_points(points)
     graph: Graph[Point] = Graph(nodes=pts)
     if radius <= 0.0:
@@ -139,7 +173,7 @@ def unit_disk_graph(
                         add_edge(pi, pj)
             # Cross-cell pairs: scan half the neighbors to visit each
             # unordered cell pair once.
-            for ox, oy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+            for ox, oy in _GRID_DIRECTIONS:
                 other = bucket_get((bx + ox, by + oy))
                 if not other:
                     continue
@@ -167,6 +201,181 @@ def _checked_points(points: Sequence[Point]) -> list[Point]:
     if len(set(pts)) != len(pts):
         raise ValueError("duplicate points in UDG input")
     return pts
+
+
+def unit_disk_graph_vectorized(
+    points: Sequence[Point],
+    radius: float = 1.0,
+    tol: float = EPS,
+    accel: str = "auto",
+) -> Graph[Point]:
+    """UDG built with vectorized pair testing; bit-identical to the grid.
+
+    The builder the 10⁵–10⁶-node fixtures need: the same grid bucketing
+    as :func:`unit_disk_graph`, but with every per-pair step executed
+    as numpy array operations instead of interpreted loops.  The output
+    is **bit-identical** to the grid builder's at every size — node
+    order, adjacency insertion order, everything — because the builder
+    reconstructs the grid's exact edge emission order: each surviving
+    pair is keyed by ``(emitting bucket's first-appearance rank, scan
+    phase, position of each endpoint in its bucket)`` — the scan phase
+    being within-cell (0) or the index of the cross-cell direction in
+    :data:`_GRID_DIRECTIONS` (1–4) — then edges are replayed through
+    ``add_edge`` in sorted key order, which is precisely the order the
+    grid builder's nested loops emit.  The hypothesis suite in
+    ``tests/graphs/test_udg_vectorized.py`` pins the equivalence.
+
+    ``accel`` picks the candidate-pair source: ``"numpy"`` expands the
+    same neighboring-bucket products the grid builder scans as one
+    batched index computation; ``"kdtree"`` asks scipy's ``cKDTree``
+    for the near pairs directly (fewer candidates, needs the optional
+    scipy dependency) and re-tests them with the grid's exact distance
+    predicate so float boundary cases cannot diverge; ``"auto"``
+    (default) uses the KD-tree when scipy is installed and the numpy
+    expansion otherwise.  Counters (``udg.vector.pairs_tested`` — the
+    bucket pairs the grid scan *would* test, computed from bucket
+    sizes — and ``udg.vector.edges_emitted``) are identical under every
+    ``accel``.
+
+    Raises:
+        ValueError: on duplicate points or an unknown ``accel``.
+        MissingDependencyError: for ``accel="kdtree"`` without scipy.
+    """
+    if accel not in ("auto", "numpy", "kdtree"):
+        raise ValueError(f"unknown accel {accel!r}")
+    pts = _checked_points(points)
+    graph: Graph[Point] = Graph(nodes=pts)
+    if radius <= 0.0:
+        return graph
+    r_sq = (radius + tol) * (radius + tol)
+    counting = OBS.enabled
+    n = len(pts)
+    if n < GRID_SMALL_N:
+        with trace("udg.vector.build"):
+            _all_pairs_scan(pts, graph, r_sq)
+        if counting:
+            OBS.incr("udg.vector.pairs_tested", n * (n - 1) // 2)
+            OBS.incr("udg.vector.edges_emitted", graph.edge_count())
+        return graph
+    if accel == "kdtree":
+        spatial = require_module("scipy.spatial", feature="the cKDTree UDG fast path")
+    else:
+        spatial = optional_module("scipy.spatial") if accel == "auto" else None
+    with trace("udg.vector.build"):
+        xs = np.fromiter((p.x for p in pts), dtype=np.float64, count=n)
+        ys = np.fromiter((p.y for p in pts), dtype=np.float64, count=n)
+        # Bucket exactly as the grid builder does (same float divisions,
+        # same floor), then rank occupied cells by first appearance —
+        # the iteration order of the grid builder's bucket dict.
+        cx = np.floor(xs / radius).astype(np.int64)
+        cy = np.floor(ys / radius).astype(np.int64)
+        cx -= cx.min()
+        cy -= cy.min()
+        width = int(cy.max()) + 3
+        key = cx * width + (cy + 1)  # +1 keeps the oy=-1 neighbor in-row
+        uniq, first_idx, inv = np.unique(key, return_index=True, return_inverse=True)
+        appearance = np.argsort(first_idx, kind="stable")
+        rank_of = np.empty(uniq.size, dtype=np.int64)
+        rank_of[appearance] = np.arange(uniq.size, dtype=np.int64)
+        cell_rank = rank_of[inv]
+        # Bucket membership: perm groups point ids by cell rank (stable,
+        # so within a bucket they keep input order, like the grid's
+        # per-cell lists); pos is each point's index in its bucket.
+        perm = np.argsort(cell_rank, kind="stable")
+        sizes = np.bincount(cell_rank, minlength=uniq.size)
+        starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        pos = np.empty(n, dtype=np.int64)
+        pos[perm] = np.arange(n, dtype=np.int64) - np.repeat(starts, sizes)
+        # The bucket pairs the grid scan visits: every occupied cell
+        # with itself (phase 0), plus each existing half-neighborhood
+        # cell (phases 1-4), discovered by key lookup.
+        ranks = np.arange(uniq.size, dtype=np.int64)
+        keys_by_rank = uniq[appearance]
+        pair_a = [ranks]
+        pair_b = [ranks]
+        pair_phase = [np.zeros(uniq.size, dtype=np.int64)]
+        for phase, (ox, oy) in enumerate(_GRID_DIRECTIONS, start=1):
+            nbr = keys_by_rank + ox * width + oy
+            loc = np.minimum(np.searchsorted(uniq, nbr), uniq.size - 1)
+            found = uniq[loc] == nbr
+            pair_a.append(ranks[found])
+            pair_b.append(rank_of[loc[found]])
+            pair_phase.append(np.full(int(found.sum()), phase, dtype=np.int64))
+        cell_a = np.concatenate(pair_a)
+        cell_b = np.concatenate(pair_b)
+        phases = np.concatenate(pair_phase)
+
+        if spatial is not None:
+            # KD-tree path: near pairs from the tree (slightly inflated
+            # query radius so its metric rounding can never drop a pair
+            # the exact predicate accepts), filtered to the grid's
+            # semantics — Chebyshev cell distance <= 1, exact r_sq test.
+            tree = spatial.cKDTree(np.column_stack((xs, ys)))
+            cand = tree.query_pairs(
+                r=(radius + tol) * (1.0 + 1e-9), output_type="ndarray"
+            )
+            ci, cj = cand[:, 0], cand[:, 1]
+            dcx = cx[cj] - cx[ci]
+            dcy = cy[cj] - cy[ci]
+            near = (np.abs(dcx) <= 1) & (np.abs(dcy) <= 1)
+            ci, cj, dcx, dcy = ci[near], cj[near], dcx[near], dcy[near]
+            dx = xs[ci] - xs[cj]
+            dy = ys[ci] - ys[cj]
+            hit = dx * dx + dy * dy <= r_sq
+            ci, cj, dcx, dcy = ci[hit], cj[hit], dcx[hit], dcy[hit]
+            # Orient each pair the way the grid emits it: the emitting
+            # cell is the one whose scan reaches the pair — the common
+            # cell within (tree pairs have i < j, matching pos order),
+            # the _GRID_DIRECTIONS source cell across.
+            phase_fwd = _PHASE_OF[dcx + 1, dcy + 1]
+            phase_rev = _PHASE_OF[1 - dcx, 1 - dcy]
+            same = (dcx == 0) & (dcy == 0)
+            swap = ~same & (phase_fwd == 0)
+            left = np.where(swap, cj, ci)
+            right = np.where(swap, ci, cj)
+            phase = np.where(swap, phase_rev, phase_fwd)
+            op = cell_rank[left] * 5 + phase
+        else:
+            # Pure-numpy path: expand every scanned bucket pair's full
+            # point product in one batch, then filter — within-cell
+            # products to the strict upper triangle, everything by the
+            # exact distance predicate.
+            ma = sizes[cell_a]
+            mb = sizes[cell_b]
+            counts = ma * mb
+            total = int(counts.sum())
+            pair_id = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+            t = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            mbp = mb[pair_id]
+            ip = t // mbp
+            jp = t - ip * mbp
+            keep = (phases[pair_id] > 0) | (ip < jp)
+            pair_id, ip, jp = pair_id[keep], ip[keep], jp[keep]
+            left = perm[starts[cell_a[pair_id]] + ip]
+            right = perm[starts[cell_b[pair_id]] + jp]
+            dx = xs[left] - xs[right]
+            dy = ys[left] - ys[right]
+            hit = dx * dx + dy * dy <= r_sq
+            left, right, pair_id = left[hit], right[hit], pair_id[hit]
+            op = cell_a[pair_id] * 5 + phases[pair_id]
+
+        # Replay the surviving edges in the grid builder's emission
+        # order: by emitting bucket rank and phase, then by each
+        # endpoint's position in its bucket (the nested loop indices).
+        order = np.lexsort((pos[right], pos[left], op))
+        add_edge = graph.add_edge
+        for a, b in zip(left[order].tolist(), right[order].tolist()):
+            add_edge(pts[a], pts[b])
+    if counting:
+        cross = phases > 0
+        pairs_tested = int((sizes * (sizes - 1) // 2).sum()) + int(
+            (sizes[cell_a[cross]] * sizes[cell_b[cross]]).sum()
+        )
+        OBS.incr("udg.vector.pairs_tested", pairs_tested)
+        OBS.incr("udg.vector.edges_emitted", graph.edge_count())
+    return graph
 
 
 def communication_radius_graph(

@@ -17,6 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Sequence, TypeVar
 
+import numpy as np
+
+from ..graphs.array import ArrayGraph
 from ..graphs.bitset import BitsetGraph, DominationTracker, value_sort_keys
 from ..graphs.graph import Graph
 from ..graphs.indexed import IndexedGraph
@@ -129,6 +132,38 @@ def _scan_bitset(bitset: BitsetGraph[N], order_ids: list[int]) -> list[int]:
     return chosen_ids
 
 
+def _scan_array(array: ArrayGraph[N], order_ids: list[int]) -> list[int]:
+    """First-fit selection over ``order_ids`` on the array kernel.
+
+    Same covered-flag formulation as the bitset scan — a node is
+    selectable exactly when no earlier selection covered it, which
+    coincides with "no chosen neighbor" because coverage is via closed
+    neighborhoods and a covered node is never chosen — with each
+    selection's ``N[v]`` cover applied as one array slice.  The
+    per-node test stays a bytearray read (cheaper than boxing a numpy
+    scalar per scanned node); the covers scatter through a numpy view
+    of the same buffer, one vector call per selection.
+    """
+    indptr, indices = array.indptr, array.indices
+    covered = bytearray(len(array))
+    covered_np = np.frombuffer(covered, dtype=np.uint8)
+    chosen_ids: list[int] = []
+    append = chosen_ids.append
+    writes = 0
+    for v in order_ids:
+        if not covered[v]:
+            append(v)
+            covered[v] = 1
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            writes += nbrs.size
+            covered_np[nbrs] = 1
+    if OBS.enabled:
+        OBS.incr("mis.nodes_scanned", len(order_ids))
+        OBS.incr("mis.selected", len(chosen_ids))
+        OBS.incr("array.cover_writes", writes)
+    return chosen_ids
+
+
 def _bfs_scan_bitset(bitset: BitsetGraph[N], root: int) -> tuple[list[int], int]:
     """Fused BFS + first-fit selection on the bitset kernel.
 
@@ -176,21 +211,32 @@ def _bfs_scan_bitset(bitset: BitsetGraph[N], root: int) -> tuple[list[int], int]
 
 
 def _first_fit_mis_kernel(
-    index: IndexedGraph[N] | BitsetGraph[N], root: N
+    index: IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N], root: N
 ) -> FirstFitMIS:
-    """The BFS + first-fit pipeline on either kernel, tree included.
+    """The BFS + first-fit pipeline on any kernel, tree included.
 
-    The BFS itself always runs on the CSR arrays (a frontier-OR bitset
-    BFS would visit neighbors in ascending-id order, not adjacency
-    insertion order, breaking bit-identity).
+    The BFS runs on the CSR arrays for the first two kernels (a
+    frontier-OR bitset BFS would visit neighbors in ascending-id order,
+    not adjacency insertion order, breaking bit-identity) and on the
+    array kernel's vectorized level-synchronous BFS — which preserves
+    that order exactly — for the third.
     """
-    csr = index.indexed if isinstance(index, BitsetGraph) else index
+    if isinstance(index, ArrayGraph):
+        csr = index.indexed
+        walker = index
+    elif isinstance(index, BitsetGraph):
+        csr = index.indexed
+        walker = csr
+    else:
+        csr = walker = index
     nodes = csr.nodes
-    order_ids, parent_ids, depth_ids = csr.bfs(csr.id_of(root))
+    order_ids, parent_ids, depth_ids = walker.bfs(csr.id_of(root))
     if len(order_ids) != len(csr):
         raise ValueError("graph must be connected for the two-phased framework")
     if isinstance(index, BitsetGraph):
         chosen_ids = _scan_bitset(index, order_ids)
+    elif isinstance(index, ArrayGraph):
+        chosen_ids = _scan_array(index, order_ids)
     else:
         chosen_ids = _scan_indexed(csr, order_ids)
     tree = BFSTree(
@@ -206,7 +252,7 @@ def first_fit_mis_nodes(
     graph: Graph[N],
     root: N | None = None,
     *,
-    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N] | None = None,
 ) -> tuple:
     """The phase-1 dominator tuple alone — no spanning-tree assembly.
 
@@ -234,6 +280,11 @@ def first_fit_mis_nodes(
         if isinstance(index, BitsetGraph):
             csr = index.indexed
             chosen_ids, visited = _bfs_scan_bitset(index, csr.id_of(root))
+        elif isinstance(index, ArrayGraph):
+            csr = index.indexed
+            order_ids = index.bfs_order(csr.id_of(root))
+            visited = len(order_ids)
+            chosen_ids = _scan_array(index, order_ids)
         else:
             csr = index
             order_ids = csr.bfs_order(csr.id_of(root))
@@ -261,7 +312,7 @@ def first_fit_mis(
     root: N | None = None,
     tree_kind: str = "bfs",
     *,
-    index: IndexedGraph[N] | BitsetGraph[N] | None = None,
+    index: IndexedGraph[N] | BitsetGraph[N] | ArrayGraph[N] | None = None,
 ) -> FirstFitMIS:
     """Tree-order first-fit MIS of a connected graph.
 
@@ -279,10 +330,11 @@ def first_fit_mis(
     connector correctness argument needs.
 
     ``index`` optionally supplies a prebuilt
-    :class:`~repro.graphs.indexed.IndexedGraph` or
-    :class:`~repro.graphs.bitset.BitsetGraph` view of ``graph``; the
-    BFS and first-fit scan then run on its flat arrays or neighborhood
-    masks (bit-identical selection, cheaper per step).  Callers that
+    :class:`~repro.graphs.indexed.IndexedGraph`,
+    :class:`~repro.graphs.bitset.BitsetGraph` or
+    :class:`~repro.graphs.array.ArrayGraph` view of ``graph``; the BFS
+    and first-fit scan then run on its flat arrays, neighborhood masks,
+    or numpy buffers (bit-identical selection, cheaper per step).  Callers that
     run several phases on one topology build the view once and thread
     it through — building it costs as much as one BFS, so a one-shot
     caller gains nothing.  The view must describe ``graph``; it is

@@ -72,7 +72,7 @@ RESPONSE_SCHEMA_ID = "repro.serve/response/v1"
 REQUEST_OPS = ("solve", "ping", "stats", "shutdown")
 
 _INSTANCE_KINDS = ("spec", "edges")
-_KERNELS = ("auto", "indexed", "bitset")
+_KERNELS = ("auto", "indexed", "bitset", "array")
 
 
 # -- builders ---------------------------------------------------------

@@ -1,0 +1,130 @@
+"""Unit tests for the numpy-CSR array kernel (repro.graphs.array)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, random_connected_udg
+from repro.graphs.array import ArrayGraph, gather_rows
+from repro.graphs.indexed import IndexedGraph
+from repro.obs import OBS
+
+
+def _random_graph(n, p, seed):
+    rng = random.Random(seed)
+    g = Graph()
+    for i in range(n):
+        g.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+class TestGatherRows:
+    def test_matches_python_slices(self):
+        g = _random_graph(40, 0.15, seed=3)
+        array = ArrayGraph.from_graph(g)
+        ids = np.array([5, 0, 17, 5, 39], dtype=np.int64)
+        flat, counts = gather_rows(array.indptr, array.indices, ids)
+        expected = [array.neighbors(int(i)).tolist() for i in ids]
+        assert counts.tolist() == [len(row) for row in expected]
+        assert flat.tolist() == [v for row in expected for v in row]
+
+    def test_empty_ids(self):
+        g = _random_graph(10, 0.3, seed=0)
+        array = ArrayGraph.from_graph(g)
+        flat, counts = gather_rows(
+            array.indptr, array.indices, np.array([], dtype=np.int64)
+        )
+        assert flat.size == 0
+        assert counts.size == 0
+
+    def test_all_isolated_rows(self):
+        g = Graph()
+        for i in range(4):
+            g.add_node(i)
+        array = ArrayGraph.from_graph(g)
+        flat, counts = gather_rows(
+            array.indptr, array.indices, np.arange(4, dtype=np.int64)
+        )
+        assert flat.size == 0
+        assert counts.tolist() == [0, 0, 0, 0]
+
+
+class TestArrayGraphView:
+    def test_csr_buffers_match_indexed(self):
+        _, g = random_connected_udg(60, 5.5, seed=4)
+        index = IndexedGraph.from_graph(g)
+        array = ArrayGraph.from_indexed(index)
+        assert array.indexed is index
+        assert array.indptr.tolist() == list(index.indptr)
+        assert array.indices.tolist() == list(index.indices)
+        assert array.degrees.tolist() == [index.degree(i) for i in range(len(g))]
+
+    def test_delegation(self):
+        _, g = random_connected_udg(25, 4.0, seed=1)
+        index = IndexedGraph.from_graph(g)
+        array = ArrayGraph.from_indexed(index)
+        assert len(array) == len(index)
+        assert array.nodes == index.nodes
+        assert array.edge_count() == index.edge_count()
+        for node in g:
+            i = index.id_of(node)
+            assert array.id_of(node) == i
+            assert array.node_at(i) is index.node_at(i)
+            assert node in array
+            assert array.degree(i) == index.degree(i)
+            assert array.neighbors(i).tolist() == list(index.neighbors(i))
+
+    def test_repr(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert repr(ArrayGraph.from_graph(g)) == "ArrayGraph(|V|=3, |E|=2)"
+
+
+class TestTraversalEquivalence:
+    """BFS/components must be bit-identical to the CSR reference."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bfs_matches_indexed(self, seed):
+        _, g = random_connected_udg(70, 6.0, seed=seed)
+        index = IndexedGraph.from_graph(g)
+        array = ArrayGraph.from_indexed(index)
+        for root in range(0, len(g), 13):
+            assert array.bfs(root) == index.bfs(root)
+            assert array.bfs_order(root) == index.bfs_order(root)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_disconnected_components_match(self, seed):
+        # Sparse random graphs fragment: component lists (BFS order
+        # inside each, first-id order across) must match exactly.
+        g = _random_graph(80, 0.02, seed=seed)
+        index = IndexedGraph.from_graph(g)
+        array = ArrayGraph.from_indexed(index)
+        assert array.connected_components() == index.connected_components()
+        assert array.is_connected() == index.is_connected()
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("a")
+        array = ArrayGraph.from_graph(g)
+        assert array.bfs(0) == ([0], [-1], [0])
+        assert array.connected_components() == [[0]]
+        assert array.is_connected()
+
+    def test_empty_graph_not_connected(self):
+        array = ArrayGraph.from_graph(Graph())
+        assert not array.is_connected()
+        assert array.connected_components() == []
+
+    def test_bfs_counters(self):
+        _, g = random_connected_udg(50, 5.0, seed=2)
+        array = ArrayGraph.from_graph(g)
+        with OBS.capture() as reg:
+            array.bfs(0)
+            counters = dict(reg.counters())
+        assert counters.get("array.bfs_levels", 0) > 0
+        # Connected graph: every CSR entry is gathered exactly once.
+        assert counters.get("array.gather_elements") == 2 * g.edge_count()

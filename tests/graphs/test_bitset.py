@@ -6,7 +6,9 @@ import pytest
 
 from repro.geometry import Point
 from repro.graphs import Graph, random_connected_udg
+from repro.graphs.array import ArrayGraph
 from repro.graphs.bitset import (
+    ARRAY_AUTO_N,
     BITSET_AUTO_N,
     KERNELS,
     BitsetGraph,
@@ -182,11 +184,15 @@ class TestKernelSelection:
     def test_auto_threshold(self):
         assert choose_kernel(BITSET_AUTO_N - 1, "auto") == "indexed"
         assert choose_kernel(BITSET_AUTO_N, "auto") == "bitset"
+        assert choose_kernel(ARRAY_AUTO_N - 1, "auto") == "bitset"
+        assert choose_kernel(ARRAY_AUTO_N, "auto") == "array"
 
     def test_auto_bitset_false_pins_csr(self):
         assert choose_kernel(BITSET_AUTO_N, "auto", auto_bitset=False) == "indexed"
+        assert choose_kernel(ARRAY_AUTO_N, "auto", auto_bitset=False) == "indexed"
         # Explicit requests still win.
         assert choose_kernel(10, "bitset", auto_bitset=False) == "bitset"
+        assert choose_kernel(10, "array", auto_bitset=False) == "array"
 
     def test_unknown_kernel_raises(self):
         with pytest.raises(ValueError, match="unknown kernel"):
@@ -196,7 +202,8 @@ class TestKernelSelection:
         _, g = random_connected_udg(20, 3.8, seed=1)
         assert isinstance(build_kernel(g, "indexed"), IndexedGraph)
         assert isinstance(build_kernel(g, "bitset"), BitsetGraph)
+        assert isinstance(build_kernel(g, "array"), ArrayGraph)
         assert isinstance(build_kernel(g, "auto"), IndexedGraph)
 
     def test_kernels_constant(self):
-        assert KERNELS == ("auto", "indexed", "bitset")
+        assert KERNELS == ("auto", "indexed", "bitset", "array")

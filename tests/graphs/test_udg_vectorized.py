@@ -1,0 +1,157 @@
+"""The vectorized UDG builder must be bit-identical to the grid builder.
+
+``unit_disk_graph_vectorized`` replays the grid builder's exact edge
+emission order from numpy-discovered candidate pairs, so the resulting
+graphs match *including insertion order* — node order, edge order, and
+every per-node adjacency list.  That is the property these tests pin,
+as a hypothesis property over arbitrary point clouds plus seeded
+uniform deployments on both accel paths, with the kdtree fast path
+skip-marked when scipy is absent.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import _optional
+from repro._optional import MissingDependencyError
+from repro.geometry import Point
+from repro.graphs.udg import (
+    GRID_SMALL_N,
+    GRID_VECTOR_N,
+    unit_disk_graph,
+    unit_disk_graph_naive,
+    unit_disk_graph_vectorized,
+)
+from repro.graphs.generators import uniform_points
+from repro.obs import OBS
+
+HAVE_SCIPY = _optional.optional_module("scipy.spatial") is not None
+
+coords = st.floats(min_value=0.0, max_value=9.0, allow_nan=False)
+point_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=0, max_size=70, unique=True
+)
+
+
+def assert_same_graph_ordered(a, b):
+    """Equality including every insertion order the builders produce."""
+    assert list(a.nodes()) == list(b.nodes())
+    assert a.edges() == b.edges()
+    for v in a.nodes():
+        assert a.neighbors(v) == b.neighbors(v)
+
+
+class TestGridEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists)
+    def test_matches_grid_builder_hypothesis(self, pts):
+        grid = unit_disk_graph(pts)
+        vector = unit_disk_graph_vectorized(pts, accel="numpy")
+        assert_same_graph_ordered(grid, vector)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("radius", (1.0, 1.7))
+    def test_matches_grid_builder_uniform(self, seed, radius):
+        import random
+
+        pts = uniform_points(320, 11.0, random.Random(seed))
+        grid = unit_disk_graph(pts, radius=radius)
+        vector = unit_disk_graph_vectorized(pts, radius=radius, accel="numpy")
+        assert_same_graph_ordered(grid, vector)
+
+    def test_exact_boundary_distances(self):
+        # Integer grid points sit at exactly radius 1.0 from their
+        # axis neighbors: the boundary tolerance must agree everywhere.
+        pts = [Point(float(x), float(y)) for x in range(9) for y in range(7)]
+        assert len(pts) > GRID_SMALL_N
+        grid = unit_disk_graph(pts)
+        vector = unit_disk_graph_vectorized(pts, accel="numpy")
+        assert_same_graph_ordered(grid, vector)
+        assert grid.edge_count() == 9 * 6 + 8 * 7  # rook moves only
+
+    def test_matches_naive_builder(self):
+        import random
+
+        pts = uniform_points(120, 6.0, random.Random(3))
+        naive = unit_disk_graph_naive(pts)
+        vector = unit_disk_graph_vectorized(pts, accel="numpy")
+        assert {frozenset(e) for e in naive.edges()} == {
+            frozenset(e) for e in vector.edges()
+        }
+
+    def test_default_builder_dispatches_at_vector_n(self, monkeypatch):
+        # Above GRID_VECTOR_N, unit_disk_graph IS the vectorized path.
+        import repro.graphs.udg as udg
+
+        monkeypatch.setattr(udg, "GRID_VECTOR_N", 64)
+        import random
+
+        pts = uniform_points(100, 6.0, random.Random(1))
+        assert_same_graph_ordered(
+            unit_disk_graph(pts), unit_disk_graph_vectorized(pts)
+        )
+        assert GRID_VECTOR_N == 20000  # the committed threshold
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+class TestKDTreePath:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kdtree_matches_numpy_path(self, seed):
+        import random
+
+        pts = uniform_points(280, 10.0, random.Random(50 + seed))
+        a = unit_disk_graph_vectorized(pts, accel="numpy")
+        b = unit_disk_graph_vectorized(pts, accel="kdtree")
+        assert_same_graph_ordered(a, b)
+
+    def test_counters_identical_across_paths(self):
+        import random
+
+        pts = uniform_points(200, 8.0, random.Random(9))
+        with OBS.capture() as reg:
+            unit_disk_graph_vectorized(pts, accel="numpy")
+            numpy_counters = dict(reg.counters())
+        with OBS.capture() as reg:
+            unit_disk_graph_vectorized(pts, accel="kdtree")
+            kdtree_counters = dict(reg.counters())
+        assert numpy_counters == kdtree_counters
+        assert numpy_counters.get("udg.vector.pairs_tested", 0) > 0
+        assert numpy_counters.get("udg.vector.edges_emitted", 0) > 0
+
+
+class TestValidationAndGating:
+    def test_unknown_accel_rejected(self):
+        with pytest.raises(ValueError, match="unknown accel"):
+            unit_disk_graph_vectorized([Point(0, 0)], accel="gpu")
+
+    def test_duplicate_points_rejected(self):
+        pts = [Point(1.0, 2.0), Point(1.0, 2.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            unit_disk_graph_vectorized(pts)
+
+    def test_kdtree_without_scipy_raises_missing_dependency(self, monkeypatch):
+        monkeypatch.setitem(_optional._CACHE, "scipy.spatial", None)
+        pts = [Point(float(i), 0.0) for i in range(GRID_SMALL_N + 1)]
+        with pytest.raises(MissingDependencyError, match="scipy"):
+            unit_disk_graph_vectorized(pts, accel="kdtree")
+
+    def test_auto_without_scipy_degrades_to_numpy(self, monkeypatch):
+        monkeypatch.setitem(_optional._CACHE, "scipy.spatial", None)
+        import random
+
+        pts = uniform_points(150, 7.0, random.Random(4))
+        grid = unit_disk_graph(pts)
+        vector = unit_disk_graph_vectorized(pts, accel="auto")
+        assert_same_graph_ordered(grid, vector)
+
+    def test_empty_and_single(self):
+        assert len(unit_disk_graph_vectorized([])) == 0
+        g = unit_disk_graph_vectorized([Point(2.0, 3.0)])
+        assert list(g.nodes()) == [Point(2.0, 3.0)]
+        assert g.edge_count() == 0
+
+    def test_nonpositive_radius(self):
+        pts = [Point(0.0, 0.0), Point(0.5, 0.0)]
+        g = unit_disk_graph_vectorized(pts, radius=0.0)
+        assert g.edge_count() == 0
+        assert list(g.nodes()) == pts

@@ -47,9 +47,10 @@ class TestSweepMode:
         assert table(resumed) == table(first)
         assert "(4 resumed" in resumed
 
-    def test_kernel_pinning(self, capsys):
-        assert sweep("--algorithm", "waf", "--kernel", "bitset") == 0
-        assert "kernel=bitset" in capsys.readouterr().out
+    @pytest.mark.parametrize("kernel", ["bitset", "array"])
+    def test_kernel_pinning(self, kernel, capsys):
+        assert sweep("--algorithm", "waf", "--kernel", kernel) == 0
+        assert f"kernel={kernel}" in capsys.readouterr().out
 
     def test_inject_fault_fails_matching_cells_only(self, capsys):
         code = sweep(

@@ -104,6 +104,9 @@ class TestValidateRequest:
         req = solve_request("r-1", n=10)
         req["kernel"] = "gpu"
         assert any("kernel" in e for e in validate_request(req))
+        for kernel in ("auto", "indexed", "bitset", "array"):
+            req["kernel"] = kernel
+            assert validate_request(req) == []
         req = solve_request("r-1", n=10)
         req["cache"] = "yes"
         assert any("cache" in e for e in validate_request(req))

@@ -76,26 +76,27 @@ class TestSolve:
 
 
 class TestKernelFlag:
-    @pytest.mark.parametrize("kernel", ["auto", "indexed", "bitset"])
+    @pytest.mark.parametrize("kernel", ["auto", "indexed", "bitset", "array"])
     def test_kernel_accepted_for_greedy(self, deployment, kernel, capsys):
         assert main(["solve", deployment, "--kernel", kernel]) == 0
         assert "backbone size" in capsys.readouterr().out
 
     def test_kernels_solve_identically(self, deployment, tmp_path):
         sizes = {}
-        for kernel in ("indexed", "bitset"):
+        for kernel in ("indexed", "bitset", "array"):
             out_file = tmp_path / f"{kernel}.json"
             assert main(
                 ["solve", deployment, "--kernel", kernel, "--out", str(out_file)]
             ) == 0
             result = load_result(out_file)
             sizes[kernel] = (result.size, sorted(map(str, result.nodes)))
-        assert sizes["indexed"] == sizes["bitset"]
+        assert sizes["indexed"] == sizes["bitset"] == sizes["array"]
 
-    def test_kernel_accepted_for_waf(self, deployment, capsys):
+    @pytest.mark.parametrize("kernel", ["bitset", "array"])
+    def test_kernel_accepted_for_waf(self, deployment, kernel, capsys):
         assert (
             main(
-                ["solve", deployment, "--algorithm", "waf", "--kernel", "bitset"]
+                ["solve", deployment, "--algorithm", "waf", "--kernel", kernel]
             )
             == 0
         )
