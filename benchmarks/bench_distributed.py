@@ -1,10 +1,16 @@
 """Bench DIST — distributed pipelines: message and time complexity.
 
 Asserts the structural counts of [10]'s phases (MIS = 2n transmissions,
-BFS tree = n) and times the full pipelines.
+BFS tree = n) and times the full pipelines — plus the batched-vs-
+reference engine comparison and the MIS priority variants on a
+1000-node fixture (the scaling story continues in ``bench_to_json``'s
+``sim_*`` cases up to 10^5; see BENCH_pr8.json).
 """
 
+import pytest
+
 from repro.distributed import (
+    RadioTopology,
     build_bfs_tree,
     distributed_greedy_cds,
     distributed_waf_cds,
@@ -44,6 +50,35 @@ def test_mis_phase_message_optimality(benchmark):
         return elect_mis(g, tree)
 
     _, metrics = benchmark(mis_phase)
+    assert metrics.transmissions == 2 * len(g)
+
+
+@pytest.mark.parametrize("engine", ["batched", "reference"])
+def test_mis_engine_comparison(benchmark, engine):
+    """The PR 8 tentpole on one mid-size fixture: identical metrics,
+    different wall clock."""
+    g = make_graph(1000, 18.0, 4)
+    topo = RadioTopology(g)
+    tree, _ = build_bfs_tree(g, 0, engine=engine, topology=topo)
+
+    def mis_phase():
+        return elect_mis(g, tree, engine=engine, topology=topo)
+
+    mis, metrics = benchmark(mis_phase)
+    assert metrics.transmissions == 2 * len(g)
+    assert len(mis) > 0
+
+
+@pytest.mark.parametrize("priority", ["bfs-rank", "degree"])
+def test_mis_priority_variants(benchmark, priority):
+    g = make_graph(1000, 18.0, 4)
+    topo = RadioTopology(g)
+    tree, _ = build_bfs_tree(g, 0, topology=topo)
+
+    def mis_phase():
+        return elect_mis(g, tree, priority=priority, topology=topo)
+
+    mis, metrics = benchmark(mis_phase)
     assert metrics.transmissions == 2 * len(g)
 
 

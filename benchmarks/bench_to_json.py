@@ -104,6 +104,10 @@ CASE_NAMES = (
     "greedy_bitset",
     "greedy_array",
     "steiner",
+    "sim_mis",
+    "sim_mis_reference",
+    "sim_waf_dist",
+    "sim_greedy_dist",
 )
 
 #: Largest fixture ``n`` (inclusive) each case still runs at — beyond
@@ -126,11 +130,64 @@ CASE_MAX_N: dict[str, int] = {
     "greedy_indexed": 10_000,
     "greedy_bitset": 100_000,
     "steiner": 10_000,
+    # Protocol-simulation cases (PR 8): the batched round engine runs
+    # the MIS protocol routinely at 10^5 (the slow lane); the
+    # per-message reference engine and the WAF pipeline stop at 10^4,
+    # and the iterative leader-coordinated greedy (O(connectors) full
+    # flood/convergecast sweeps) at 10^3.
+    "sim_mis": 100_000,
+    "sim_mis_reference": 10_000,
+    "sim_waf_dist": 10_000,
+    "sim_greedy_dist": 1_000,
 }
+
+
+def _sim_mis(graph_int, engine: str):
+    """Tree + MIS on one engine over a shared interned topology — the
+    protocol path whose n=10^4-10^5 scaling PR 8 is about."""
+    from repro.distributed import RadioTopology, build_bfs_tree, elect_mis
+
+    topo = RadioTopology(graph_int)
+    tree, tree_metrics = build_bfs_tree(graph_int, 0, engine=engine, topology=topo)
+    mis, mis_metrics = elect_mis(graph_int, tree, engine=engine, topology=topo)
+    if OBS.enabled:
+        merged = tree_metrics.merge(mis_metrics)
+        OBS.incr("bench.sim.rounds", merged.rounds)
+        OBS.incr("bench.sim.transmissions", merged.transmissions)
+    return tuple(mis)
 
 
 def _cases(points, graph):
     """The benchmarked callables for one fixture."""
+    memo: dict = {}
+
+    def graph_int():
+        # Integer-relabeled copy for the protocol cases, built once per
+        # fixture and only when a sim_* case actually runs.
+        if "g" not in memo:
+            from repro.experiments.instances import int_labeled
+
+            memo["g"] = int_labeled(graph)
+        return memo["g"]
+
+    def sim_waf_dist():
+        from repro.distributed import distributed_waf_cds
+
+        result, metrics = distributed_waf_cds(graph_int())
+        if OBS.enabled:
+            OBS.incr("bench.sim.rounds", metrics.rounds)
+            OBS.incr("bench.sim.transmissions", metrics.transmissions)
+        return result
+
+    def sim_greedy_dist():
+        from repro.distributed import distributed_greedy_cds
+
+        result, metrics = distributed_greedy_cds(graph_int())
+        if OBS.enabled:
+            OBS.incr("bench.sim.rounds", metrics.rounds)
+            OBS.incr("bench.sim.transmissions", metrics.transmissions)
+        return result
+
     return {
         "udg_build_naive": lambda: unit_disk_graph_naive(points),
         "udg_build_grid": lambda: unit_disk_graph(points),
@@ -153,14 +210,28 @@ def _cases(points, graph):
         "greedy_bitset": lambda: greedy_connector_cds(graph, kernel="bitset"),
         "greedy_array": lambda: greedy_connector_cds(graph, kernel="array"),
         "steiner": lambda: steiner_cds(graph),
+        "sim_mis": lambda: _sim_mis(graph_int(), "batched"),
+        "sim_mis_reference": lambda: _sim_mis(graph_int(), "reference"),
+        "sim_waf_dist": sim_waf_dist,
+        "sim_greedy_dist": sim_greedy_dist,
     }
 
 
-def _fixture_cases(fixture: str) -> tuple[str, ...]:
-    """The cases run for one fixture (see :data:`CASE_MAX_N`)."""
+def _fixture_cases(
+    fixture: str, cases: "list[str] | None" = None
+) -> tuple[str, ...]:
+    """The cases run for one fixture (see :data:`CASE_MAX_N`).
+
+    ``cases`` optionally restricts to a subset of :data:`CASE_NAMES`
+    (the ``--cases`` flag) — the size caps still apply on top.
+    """
     n = FIXTURES[fixture][0]
+    allowed = CASE_NAMES if cases is None else tuple(cases)
+    for case in allowed:
+        if case not in CASE_NAMES:
+            raise KeyError(f"unknown case {case!r}; known: {list(CASE_NAMES)}")
     return tuple(
-        c for c in CASE_NAMES if n <= CASE_MAX_N.get(c, n)
+        c for c in CASE_NAMES if c in allowed and n <= CASE_MAX_N.get(c, n)
     )
 
 
@@ -243,6 +314,7 @@ def build_baseline(
     fixtures: list[str] | None = None,
     jobs: int = 1,
     *,
+    cases: list[str] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
 ) -> dict:
@@ -253,7 +325,7 @@ def build_baseline(
     tasks = [
         (case, fixture, repeats)
         for fixture in names
-        for case in _fixture_cases(fixture)
+        for case in _fixture_cases(fixture, cases)
     ]
     if checkpoint:
         # Long scaling-tier runs journal per case: an interrupted run
@@ -333,6 +405,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--cases",
+        metavar="NAMES",
+        help=(
+            "comma-separated case subset (default: all cases a fixture's "
+            "size allows) — e.g. --cases sim_mis,sim_waf_dist to bench "
+            "only the protocol-simulation lane"
+        ),
+    )
+    parser.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
@@ -363,11 +444,13 @@ def main(argv=None) -> int:
         return 2
 
     fixtures = args.fixtures.split(",") if args.fixtures else None
+    cases = args.cases.split(",") if args.cases else None
     try:
         baseline = build_baseline(
             args.repeats,
             fixtures,
             args.jobs,
+            cases=cases,
             checkpoint=args.checkpoint,
             resume=args.resume,
         )

@@ -106,6 +106,7 @@ def _positive_int(text: str) -> int:
 def _solver_registry():
     from .baselines import ALL_BASELINES
     from .cds import greedy_connector_cds, steiner_cds, waf_cds
+    from .distributed.solvers import DISTRIBUTED_SOLVERS
 
     solvers = {
         "waf": waf_cds,
@@ -113,6 +114,7 @@ def _solver_registry():
         "steiner": steiner_cds,
     }
     solvers.update(ALL_BASELINES)
+    solvers.update(DISTRIBUTED_SOLVERS)
     return solvers
 
 

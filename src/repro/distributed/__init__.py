@@ -5,12 +5,35 @@ BFS-tree construction, the rank-based MIS election of [10], the
 Section III tree-parent connector protocol, and a leader-coordinated
 Section IV max-gain connector protocol — all with message/round
 accounting.
+
+Two round engines share the simulator contract: the per-message
+reference :class:`Simulator` and the scaled
+:class:`~repro.distributed.engine.BatchedSimulator` (per-node inbox
+batching, active-set scheduling, kernel-backed topology) — every
+protocol entry point takes ``engine=`` and all run batched by default
+with bit-identical metrics and outputs.  :func:`simulate_components`
+shards disconnected topologies across worker processes, and the MIS
+election's node-priority order is pluggable via ``priority=`` /
+:func:`make_priority`.
 """
 
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import (
+    Context,
+    Message,
+    NodeProcess,
+    RadioTopology,
+    SimMetrics,
+    Simulator,
+)
+from .engine import (
+    ENGINES,
+    BatchedSimulator,
+    make_simulator,
+    simulate_components,
+)
 from .leader import LeaderNode, elect_leader
 from .bfs_tree import BFSNode, DistributedTree, build_bfs_tree
-from .mis_protocol import MISNode, elect_mis
+from .mis_protocol import PRIORITIES, MISNode, elect_mis, make_priority
 from .luby import LubyNode, luby_mis
 from .maintenance_protocol import distributed_join
 from .traffic import TrafficStats, run_traffic
@@ -26,15 +49,22 @@ __all__ = [
     "Context",
     "Message",
     "NodeProcess",
+    "RadioTopology",
     "SimMetrics",
     "Simulator",
+    "ENGINES",
+    "BatchedSimulator",
+    "make_simulator",
+    "simulate_components",
     "LeaderNode",
     "elect_leader",
     "BFSNode",
     "DistributedTree",
     "build_bfs_tree",
+    "PRIORITIES",
     "MISNode",
     "elect_mis",
+    "make_priority",
     "convergecast_max",
     "distributed_greedy_cds",
     "distributed_waf_cds",

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Hashable
 
 from ..graphs.graph import Graph
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 
 __all__ = ["build_bfs_tree", "BFSNode", "DistributedTree"]
 
@@ -63,13 +64,21 @@ class DistributedTree:
         return kids
 
 
-def build_bfs_tree(graph: Graph, root: Hashable) -> tuple[DistributedTree, SimMetrics]:
+def build_bfs_tree(
+    graph: Graph,
+    root: Hashable,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> tuple[DistributedTree, SimMetrics]:
     """Run the explore wave from ``root``.
 
     Raises:
         AssertionError: if some node was never reached (disconnected).
     """
-    sim = Simulator(graph, lambda v: BFSNode(v, root))
+    sim = make_simulator(
+        graph, lambda v: BFSNode(v, root), engine=engine, topology=topology
+    )
     metrics = sim.run()
     parent: dict = {}
     level: dict = {}

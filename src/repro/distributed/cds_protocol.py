@@ -12,16 +12,26 @@ label flooding over the backbone, a convergecast of the maximum gain up
 the BFS tree, and a winner-announcement flood).  Each iteration's
 messages are counted faithfully; the iteration loop itself is driven by
 the test harness the way a real implementation's leader would drive it.
+
+Both pipelines run on the batched engine by default (``engine=``
+selects; see :mod:`repro.distributed.engine`) and intern the topology
+**once**: a single :class:`~repro.distributed.simulator.RadioTopology`
+is threaded through every phase — and, for the greedy, every
+iteration — so the O(V+E) kernel build and receiver-tuple gather are
+paid once per pipeline instead of once per simulator.  The MIS phase's
+node-priority order is pluggable end to end (``priority=``, see
+:func:`repro.distributed.mis_protocol.make_priority`).
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Callable, Hashable
 
 from ..graphs.graph import Graph
 from ..cds.base import CDSResult
 from ..obs import OBS, trace
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 from .leader import elect_leader
 from .bfs_tree import DistributedTree, build_bfs_tree
 from .mis_protocol import elect_mis
@@ -53,13 +63,13 @@ class _WAFConnectorNode(NodeProcess):
         node_id: Hashable,
         tree: DistributedTree,
         dominators: set,
-        dominator_neighbors: set,
+        dominator_count: int,
     ):
         super().__init__(node_id)
         self.tree = tree
         self.is_root = node_id == tree.root
         self.is_dominator = node_id in dominators
-        self.dominator_neighbors = dominator_neighbors
+        self.dominator_count = dominator_count
         self.is_connector = False
         self.s: Hashable | None = None
         self._replies: dict[Hashable, int] = {}
@@ -71,7 +81,7 @@ class _WAFConnectorNode(NodeProcess):
 
     def on_message(self, ctx: Context, message: Message) -> None:
         if message.kind == "count-query":
-            ctx.send(message.sender, "count-reply", count=len(self.dominator_neighbors))
+            ctx.send(message.sender, "count-reply", count=self.dominator_count)
         elif message.kind == "count-reply" and self.is_root:
             self._replies[message.sender] = message.payload["count"]
             if len(self._replies) == len(ctx.neighbors):
@@ -98,21 +108,30 @@ class _WAFConnectorNode(NodeProcess):
         if (
             self.is_dominator
             and not self.is_root
-            and self.s not in set(ctx.neighbors)
+            and not ctx.is_neighbor(self.s)
         ):
             ctx.send(self.tree.parent[self.node_id], "join")
 
 
 def _waf_connector_phase(
-    graph: Graph, tree: DistributedTree, dominators: list
+    graph: Graph,
+    tree: DistributedTree,
+    dominators: list,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
 ) -> tuple[list, SimMetrics]:
+    topo = topology if topology is not None else RadioTopology(graph)
     dom_set = set(dominators)
-    dom_neighbors = {
-        v: {u for u in graph.neighbors(v) if u in dom_set} for v in graph.nodes()
+    dom_count = {
+        v: sum(1 for u in nbrs if u in dom_set)
+        for v, nbrs in topo.receivers.items()
     }
-    sim = Simulator(
+    sim = make_simulator(
         graph,
-        lambda v: _WAFConnectorNode(v, tree, dom_set, dom_neighbors[v]),
+        lambda v: _WAFConnectorNode(v, tree, dom_set, dom_count[v]),
+        engine=engine,
+        topology=topo,
     )
     metrics = sim.run()
     connectors = [
@@ -123,10 +142,18 @@ def _waf_connector_phase(
     return connectors, metrics
 
 
-def distributed_waf_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
+def distributed_waf_cds(
+    graph: Graph,
+    *,
+    priority: "str | Callable[[Hashable], object] | None" = None,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> tuple[CDSResult, SimMetrics]:
     """The full distributed WAF pipeline.
 
-    Returns the CDS and the merged metrics of all four phases.
+    Returns the CDS and the merged metrics of all four phases.  One
+    :class:`RadioTopology` is shared by every phase; ``engine`` and
+    ``priority`` select the round engine and the MIS rank order.
 
     Raises:
         ValueError / AssertionError: on empty or disconnected input.
@@ -142,11 +169,16 @@ def distributed_waf_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
             ),
             SimMetrics(),
         )
+    topo = topology if topology is not None else RadioTopology(graph)
     with trace("distributed.waf"):
-        leader, m1 = elect_leader(graph)
-        tree, m2 = build_bfs_tree(graph, leader)
-        dominators, m3 = elect_mis(graph, tree)
-        connectors, m4 = _waf_connector_phase(graph, tree, dominators)
+        leader, m1 = elect_leader(graph, engine=engine, topology=topo)
+        tree, m2 = build_bfs_tree(graph, leader, engine=engine, topology=topo)
+        dominators, m3 = elect_mis(
+            graph, tree, priority=priority, engine=engine, topology=topo
+        )
+        connectors, m4 = _waf_connector_phase(
+            graph, tree, dominators, engine=engine, topology=topo
+        )
     metrics = m1.merge(m2).merge(m3).merge(m4)
     result = CDSResult(
         algorithm="waf-distributed",
@@ -179,13 +211,29 @@ class _LabelNode(NodeProcess):
             ctx.broadcast("label", label=self.label)
             self._dirty = False
 
+    def on_messages(self, ctx: Context, messages: list) -> None:
+        # One pass over the inbox: remember the last label heard per
+        # neighbor and keep the minimum improvement, if any.
+        heard = self.heard
+        if self.in_backbone:
+            label = self.label
+            for message in messages:
+                if message.kind != "label":
+                    continue
+                incoming = message.payload["label"]
+                heard[message.sender] = incoming
+                if incoming < label:
+                    label = incoming
+            if label != self.label:
+                self.label = label
+                self._dirty = True
+        else:
+            for message in messages:
+                if message.kind == "label":
+                    heard[message.sender] = message.payload["label"]
+
     def on_message(self, ctx: Context, message: Message) -> None:
-        if message.kind != "label":
-            return
-        self.heard[message.sender] = message.payload["label"]
-        if self.in_backbone and message.payload["label"] < self.label:
-            self.label = message.payload["label"]
-            self._dirty = True
+        self.on_messages(ctx, [message])
 
     def on_round(self, ctx: Context) -> None:
         if self._dirty:
@@ -194,7 +242,11 @@ class _LabelNode(NodeProcess):
 
 
 def flood_min_labels(
-    graph: Graph, backbone: set
+    graph: Graph,
+    backbone: set,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
 ) -> tuple[dict, dict, SimMetrics]:
     """Label the components of ``G[backbone]`` by min-id flooding.
 
@@ -205,7 +257,12 @@ def flood_min_labels(
     Returns ``(labels, heard, metrics)``: final label per backbone
     node, and for every node the last label heard from each neighbor.
     """
-    sim = Simulator(graph, lambda v: _LabelNode(v, v in backbone))
+    sim = make_simulator(
+        graph,
+        lambda v: _LabelNode(v, v in backbone),
+        engine=engine,
+        topology=topology,
+    )
     metrics = sim.run()
     labels: dict = {}
     heard: dict = {}
@@ -241,9 +298,6 @@ class _ConvergecastNode(NodeProcess):
             ctx.send(self.tree.parent[self.node_id], "report", best=self.best)
         self._sent = True
 
-    def on_start(self, ctx: Context) -> None:
-        self._maybe_report(ctx)
-
     def on_message(self, ctx: Context, message: Message) -> None:
         if message.kind != "report":
             return
@@ -253,9 +307,17 @@ class _ConvergecastNode(NodeProcess):
             self.best = incoming
         self._maybe_report(ctx)
 
+    def on_start(self, ctx: Context) -> None:
+        self._maybe_report(ctx)
+
 
 def convergecast_max(
-    graph: Graph, tree: DistributedTree, values: dict
+    graph: Graph,
+    tree: DistributedTree,
+    values: dict,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
 ) -> tuple[tuple, SimMetrics]:
     """Aggregate the maximum of ``values`` up to the root.
 
@@ -263,9 +325,11 @@ def convergecast_max(
     seen by the root, with ``n - 1`` transmissions in ``O(depth)`` rounds.
     """
     children = tree.children()
-    sim = Simulator(
+    sim = make_simulator(
         graph,
         lambda v: _ConvergecastNode(v, tree, children, tuple(values[v])),
+        engine=engine,
+        topology=topology,
     )
     metrics = sim.run()
     root_proc = sim.processes[tree.root]
@@ -291,20 +355,39 @@ class _FloodNode(NodeProcess):
             ctx.broadcast("flood", value=self.value)
 
 
-def flood_value(graph: Graph, origin: Hashable, value) -> SimMetrics:
+def flood_value(
+    graph: Graph,
+    origin: Hashable,
+    value,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> SimMetrics:
     """Flood ``value`` from ``origin`` to everyone: n transmissions."""
-    sim = Simulator(graph, lambda v: _FloodNode(v, origin, value))
+    sim = make_simulator(
+        graph,
+        lambda v: _FloodNode(v, origin, value),
+        engine=engine,
+        topology=topology,
+    )
     return sim.run()
 
 
-def distributed_greedy_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
+def distributed_greedy_cds(
+    graph: Graph,
+    *,
+    priority: "str | Callable[[Hashable], object] | None" = None,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> tuple[CDSResult, SimMetrics]:
     """The Section IV algorithm as a leader-coordinated protocol.
 
     Per iteration: flood component labels over the current backbone,
     convergecast each candidate's gain (distinct adjacent labels minus
     one) to the root, and flood the winner, which joins the backbone.
     Repeats until one component remains.  The metrics sum every phase
-    and iteration.
+    and iteration; the shared topology makes each iteration's three
+    sub-simulations reuse one interned kernel.
     """
     if len(graph) == 1:
         only = next(iter(graph))
@@ -317,38 +400,44 @@ def distributed_greedy_cds(graph: Graph) -> tuple[CDSResult, SimMetrics]:
             ),
             SimMetrics(),
         )
+    topo = topology if topology is not None else RadioTopology(graph)
     with trace("distributed.greedy.setup"):
-        leader, m1 = elect_leader(graph)
-        tree, m2 = build_bfs_tree(graph, leader)
-        dominators, m3 = elect_mis(graph, tree)
+        leader, m1 = elect_leader(graph, engine=engine, topology=topo)
+        tree, m2 = build_bfs_tree(graph, leader, engine=engine, topology=topo)
+        dominators, m3 = elect_mis(
+            graph, tree, priority=priority, engine=engine, topology=topo
+        )
     metrics = m1.merge(m2).merge(m3)
 
+    receivers = topo.receivers
     backbone: set = set(dominators)
     connectors: list = []
     iterations = 0
     while True:
         iterations += 1
-        labels, heard, m_label = flood_min_labels(graph, backbone)
+        labels, heard, m_label = flood_min_labels(
+            graph, backbone, engine=engine, topology=topo
+        )
         metrics = metrics.merge(m_label)
         if len(set(labels.values())) <= 1:
             break
         # Each candidate's gain from the labels it heard.
         values: dict = {}
-        for v in graph.nodes():
+        for v, nbrs in receivers.items():
             if v in backbone:
                 values[v] = (0, v)
             else:
-                seen = {
-                    labels[u]
-                    for u in graph.neighbors(v)
-                    if u in backbone
-                }
+                seen = {labels[u] for u in nbrs if u in backbone}
                 values[v] = (max(0, len(seen) - 1), v)
-        (best_gain, winner), m_conv = convergecast_max(graph, tree, values)
+        (best_gain, winner), m_conv = convergecast_max(
+            graph, tree, values, engine=engine, topology=topo
+        )
         metrics = metrics.merge(m_conv)
         if best_gain < 1:
             raise AssertionError("no positive gain but backbone disconnected")
-        metrics = metrics.merge(flood_value(graph, tree.root, winner))
+        metrics = metrics.merge(
+            flood_value(graph, tree.root, winner, engine=engine, topology=topo)
+        )
         backbone.add(winner)
         connectors.append(winner)
 

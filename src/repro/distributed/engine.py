@@ -1,0 +1,295 @@
+"""The batched round engine: the simulator's hot loop at 10⁴–10⁵ nodes.
+
+The reference :class:`~repro.distributed.simulator.Simulator` is the
+semantic baseline but pays three per-round taxes that dominate at
+scale: a fresh ``Context`` and a Python call per *delivery*, a
+``dict``/``list`` copy per *transmission*, and an ``on_round`` tick on
+all ``n`` nodes every round even when almost all of them are idle —
+the rank cascade of [10] keeps only a moving frontier busy, so at
+``n = 10⁴`` upwards of 99% of those ticks are no-ops.
+
+:class:`BatchedSimulator` removes all three while keeping
+:class:`~repro.distributed.simulator.SimMetrics` and protocol outputs
+bit-identical (pinned by the randomized lockstep suite in
+``tests/distributed/test_engine_equivalence.py``):
+
+* **Per-node inboxes.**  Each round's in-flight messages are grouped
+  by receiver in one pass and handed over through the batch callback
+  :meth:`~repro.distributed.simulator.NodeProcess.on_messages` — one
+  Python call per *receiving node* instead of one per delivery, with
+  each inbox in exactly the reference engine's arrival order.
+* **Active set.**  Only nodes that received a message, sent one of the
+  messages delivered this round, or requested ``stay_active()`` last
+  round get their ``on_round`` tick, iterated in dense-id order (the
+  reference engine's dict order restricted to the active nodes).
+  Senders are included so a transmission nobody hears — a lone node
+  broadcasting into the void — still wakes its own round tick, exactly
+  as the tick-everyone engine would.
+* **Kernel-backed topology.**  Neighbor lookup and ``send()``
+  validation run on the shared
+  :class:`~repro.distributed.simulator.RadioTopology` (interned
+  :mod:`repro.graphs.backend` kernel, cached receiver tuples, O(1)
+  adjacency membership), and one ``Context`` per node is reused for
+  every callback.
+
+:func:`simulate_components` adds the orthogonal axis: independent
+connected components share no messages, so they shard across
+:func:`repro.experiments.parallel.parallel_map` worker processes and
+their metrics merge deterministically with
+:meth:`~repro.distributed.simulator.SimMetrics.merge_parallel`
+(rounds max, message work summed — the totals of one whole-topology
+run, whatever ``jobs`` is).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Hashable, Mapping
+
+from ..graphs.graph import Graph
+from ..obs import OBS
+from .simulator import (
+    Context,
+    Message,
+    NodeProcess,
+    RadioTopology,
+    SimMetrics,
+    Simulator,
+)
+
+__all__ = [
+    "ENGINES",
+    "BatchedSimulator",
+    "make_simulator",
+    "simulate_components",
+]
+
+#: Valid ``engine=`` arguments of the protocol entry points.
+ENGINES = ("batched", "reference")
+
+
+class BatchedSimulator:
+    """Run one protocol over a fixed topology, batched per round.
+
+    Drop-in for :class:`~repro.distributed.simulator.Simulator`: same
+    constructor, same ``run`` contract, same ``metrics`` /
+    ``processes`` / ``round`` surface, bit-identical results.  See the
+    module docstring for what is different inside the loop.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        factory: Callable[[Hashable], NodeProcess],
+        *,
+        topology: RadioTopology | None = None,
+        record_rounds: bool = False,
+    ):
+        self.graph = graph
+        self.topology = topology if topology is not None else RadioTopology(graph)
+        self.processes: dict[Hashable, NodeProcess] = {
+            v: factory(v) for v in graph.nodes()
+        }
+        self.metrics = SimMetrics()
+        self.round = 0
+        self.round_log: list[tuple[int, int]] | None = (
+            [] if record_rounds else None
+        )
+        self._queue: deque[tuple[Hashable, tuple, str, Mapping[str, Any]]] = deque()
+        self._active_requests: set[Hashable] = set()
+        self._contexts: dict[Hashable, Context] = {
+            v: Context(self, v) for v in self.processes
+        }
+
+    def _enqueue(
+        self, sender: Hashable, receivers: tuple, kind: str, payload: Mapping[str, Any]
+    ) -> None:
+        self._queue.append((sender, receivers, kind, payload))
+        self.metrics.transmissions += 1
+        self.metrics.by_kind[kind] += 1
+
+    def run(self, max_rounds: int = 10_000) -> SimMetrics:
+        """Execute until quiescence or ``max_rounds``.
+
+        Returns the metrics (also available as ``self.metrics``).
+
+        Raises:
+            RuntimeError: if the round cap is hit with work remaining —
+                a protocol that fails to quiesce is a bug, not a result.
+        """
+        processes = self.processes
+        contexts = self._contexts
+        metrics = self.metrics
+        order_of = self.topology.order_of
+        ordered = list(processes)  # dense-id order == dict order
+        node_rounds = 0
+        deliver_batches = 0
+        for node_id, proc in processes.items():
+            proc.on_start(contexts[node_id])
+        queue = self._queue
+        while queue or self._active_requests:
+            if self.round >= max_rounds:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_rounds} rounds"
+                )
+            self.round += 1
+            metrics.rounds = self.round
+            # Requests made during last round's callbacks (including
+            # on_message) define this round's standing activity; the
+            # set is re-armed before any delivery, so a stay_active()
+            # from inside on_messages lands in the *next* round's set.
+            requested = self._active_requests
+            self._active_requests = set()
+            inflight = queue
+            self._queue = queue = deque()
+            # Group this round's deliveries into per-node inboxes, in
+            # global queue order — each inbox ends up in exactly the
+            # arrival order the per-message engine would produce.
+            inboxes: dict[Hashable, list[Message]] = {}
+            senders: set[Hashable] = set()
+            receptions = 0
+            for sender, receivers, kind, payload in inflight:
+                senders.add(sender)
+                msg = Message(sender=sender, kind=kind, payload=payload)
+                receptions += len(receivers)
+                for r in receivers:
+                    box = inboxes.get(r)
+                    if box is None:
+                        inboxes[r] = [msg]
+                    else:
+                        box.append(msg)
+            metrics.receptions += receptions
+            deliver_batches += len(inboxes)
+            for node_id, box in inboxes.items():
+                processes[node_id].on_messages(contexts[node_id], box)
+            # Round tick, active nodes only, in reference dict order.
+            if requested:
+                senders.update(requested)
+            senders.update(inboxes)
+            node_rounds += len(senders)
+            if len(senders) == len(ordered):
+                active = ordered
+            else:
+                active = sorted(senders, key=order_of.__getitem__)
+            for node_id in active:
+                processes[node_id].on_round(contexts[node_id])
+            if self.round_log is not None:
+                self.round_log.append(
+                    (metrics.transmissions, metrics.receptions)
+                )
+        Simulator._mirror_totals(self)
+        if OBS.enabled:
+            OBS.incr("sim.batch.node_rounds", node_rounds)
+            OBS.incr("sim.batch.deliver_batches", deliver_batches)
+        return metrics
+
+
+def make_simulator(
+    graph: Graph,
+    factory: Callable[[Hashable], NodeProcess],
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+    record_rounds: bool = False,
+) -> "BatchedSimulator | Simulator":
+    """Build the requested engine over ``graph`` — the protocols' seam.
+
+    ``engine`` is ``"batched"`` (default: the scaled engine) or
+    ``"reference"`` (the per-message baseline).  Results are
+    bit-identical either way; the choice is purely a performance —
+    and, for the equivalence suite, a cross-checking — decision.
+
+    Raises:
+        ValueError: on an unknown engine name.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    cls = BatchedSimulator if engine == "batched" else Simulator
+    return cls(graph, factory, topology=topology, record_rounds=record_rounds)
+
+
+def _component_worker(
+    task: tuple[Graph, Callable, Callable, str, int],
+):
+    """Run one component's simulation in (possibly) a worker process.
+
+    Module-level so :func:`repro.experiments.parallel.parallel_map` can
+    pickle it; the factory and extractor must be picklable too when
+    ``jobs > 1`` (module-level functions or ``functools.partial``).
+    """
+    subgraph, factory, extract, engine, max_rounds = task
+    sim = make_simulator(subgraph, factory, engine=engine)
+    metrics = sim.run(max_rounds=max_rounds)
+    result = extract(sim) if extract is not None else None
+    return result, metrics
+
+
+def simulate_components(
+    graph: Graph,
+    factory: Callable[[Hashable], NodeProcess],
+    *,
+    extract: Callable[[Any], Any] | None = None,
+    jobs: int = 1,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+    max_rounds: int = 10_000,
+) -> tuple[list, SimMetrics]:
+    """Shard one protocol run across connected components.
+
+    Components exchange no messages, so each is its own simulation;
+    with ``jobs > 1`` they spread over
+    :func:`repro.experiments.parallel.parallel_map` worker processes.
+    Determinism is preserved end to end: components are enumerated in
+    first-node order, results come back in input order whatever the
+    scheduling, and the per-component metrics merge with
+    :meth:`SimMetrics.merge_parallel` — so the returned totals are
+    bit-identical to one simulator running the whole topology, and to
+    the ``jobs=1`` serial loop.
+
+    Args:
+        graph: the (possibly disconnected) communication topology.
+        factory: per-node process factory, as for the engines; must be
+            picklable for ``jobs > 1``.
+        extract: optional per-component reducer called with the
+            finished simulator in the worker; its (picklable) return
+            value lands in the result list.  ``None`` records ``None``
+            per component.
+        jobs: worker processes (``<= 1`` runs serial in-process).
+        engine: ``"batched"`` or ``"reference"``, per component.
+        topology: optional prebuilt :class:`RadioTopology` of ``graph``
+            (used for component discovery; per-component simulators
+            intern their own subgraph either way).
+        max_rounds: per-component round cap.
+
+    Returns:
+        ``(results, metrics)`` — one extracted result per component in
+        first-node order, and the parallel-merged metrics.
+    """
+    from ..experiments.parallel import parallel_map
+
+    topo = topology if topology is not None else RadioTopology(graph)
+    view = topo.view
+    components = view.connected_components()
+    if len(components) <= 1:
+        sim = make_simulator(graph, factory, engine=engine, topology=topo)
+        metrics = sim.run(max_rounds=max_rounds)
+        result = extract(sim) if extract is not None else None
+        return [result], metrics
+    tasks = [
+        (
+            graph.subgraph([view.node_at(i) for i in comp]),
+            factory,
+            extract,
+            engine,
+            max_rounds,
+        )
+        for comp in components
+    ]
+    outcomes = parallel_map(_component_worker, tasks, jobs=jobs)
+    results = [result for result, _ in outcomes]
+    merged = SimMetrics()
+    for _, metrics in outcomes:
+        merged = merged.merge_parallel(metrics)
+    if OBS.enabled:
+        OBS.incr("sim.components.sharded", len(components))
+    return results, merged

@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Hashable
 
 from ..graphs.graph import Graph
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 
 __all__ = ["elect_leader", "LeaderNode"]
 
@@ -47,7 +48,12 @@ class LeaderNode(NodeProcess):
         return self.best == self.node_id
 
 
-def elect_leader(graph: Graph) -> tuple[Hashable, SimMetrics]:
+def elect_leader(
+    graph: Graph,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> tuple[Hashable, SimMetrics]:
     """Run flood-min on ``graph``; return the leader and the metrics.
 
     Raises:
@@ -57,7 +63,7 @@ def elect_leader(graph: Graph) -> tuple[Hashable, SimMetrics]:
     """
     if len(graph) == 0:
         raise ValueError("cannot elect a leader on an empty graph")
-    sim = Simulator(graph, LeaderNode)
+    sim = make_simulator(graph, LeaderNode, engine=engine, topology=topology)
     metrics = sim.run()
     leaders = [p.node_id for p in sim.processes.values() if p.is_leader]  # type: ignore[attr-defined]
     if len(leaders) != 1:

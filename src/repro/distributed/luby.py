@@ -22,7 +22,8 @@ import random
 from typing import Hashable
 
 from ..graphs.graph import Graph
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 
 __all__ = ["luby_mis", "LubyNode"]
 
@@ -87,14 +88,22 @@ class LubyNode(NodeProcess):
                 self._begin_phase(ctx)
 
 
-def luby_mis(graph: Graph, seed: int = 0) -> tuple[list, SimMetrics]:
+def luby_mis(
+    graph: Graph,
+    seed: int = 0,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
+) -> tuple[list, SimMetrics]:
     """Run Luby's algorithm; return the MIS (sorted) and run metrics.
 
     Ties between equal priorities are broken by the draw being from a
     continuous distribution (collisions have probability ~0; a replay
     with another seed resolves the astronomically unlikely tie).
     """
-    sim = Simulator(graph, lambda v: LubyNode(v, seed))
+    sim = make_simulator(
+        graph, lambda v: LubyNode(v, seed), engine=engine, topology=topology
+    )
     metrics = sim.run()
     mis = []
     for proc in sim.processes.values():

@@ -23,7 +23,8 @@ from __future__ import annotations
 from typing import Hashable
 
 from ..graphs.graph import Graph
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 
 __all__ = ["distributed_join"]
 
@@ -84,7 +85,12 @@ def _order_key(node):
 
 
 def distributed_join(
-    graph: Graph, joiner: Hashable, backbone: frozenset
+    graph: Graph,
+    joiner: Hashable,
+    backbone: frozenset,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
 ) -> tuple[frozenset, SimMetrics]:
     """Run the join-repair protocol.
 
@@ -104,7 +110,12 @@ def distributed_join(
         raise ValueError(f"joiner {joiner!r} not in graph")
     if not graph.neighbors(joiner):
         raise ValueError("joiner has no radio neighbors")
-    sim = Simulator(graph, lambda v: _JoinNode(v, joiner, frozenset(backbone)))
+    sim = make_simulator(
+        graph,
+        lambda v: _JoinNode(v, joiner, frozenset(backbone)),
+        engine=engine,
+        topology=topology,
+    )
     metrics = sim.run()
     new_backbone = set(backbone)
     for proc in sim.processes.values():

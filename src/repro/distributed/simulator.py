@@ -13,12 +13,32 @@ provides the standard synchronous model those analyses assume:
   transmissions, matching the radio-energy accounting of the papers.
 
 Protocols subclass :class:`NodeProcess` and react to ``on_start`` /
-``on_message`` / ``on_round``.  The simulator runs until quiescence
-(no messages in flight and no node asked to stay active) or a round
-cap, and records :class:`SimMetrics`.  When :data:`repro.obs.OBS` is
-enabled, each completed run also mirrors its totals into the registry
-(``sim.rounds``, ``sim.transmissions``, ``sim.receptions``, and one
-``sim.msg.<kind>`` counter per message kind).
+``on_message`` / ``on_round`` — or the batch callback ``on_messages``,
+which receives a node's whole per-round inbox at once (the default
+implementation falls back to per-message ``on_message``, so existing
+protocols run unchanged on every engine).  Two engines share this
+module's contract:
+
+* :class:`Simulator` — the reference engine: delivers message by
+  message and ticks ``on_round`` on every node every round.  Simple,
+  and the semantic baseline the equivalence suite pins the batched
+  engine against.
+* :class:`~repro.distributed.engine.BatchedSimulator` — the scaled
+  engine (``distributed/engine.py``): per-node inbox batching plus an
+  active-set so idle nodes cost nothing.  Bit-identical metrics and
+  protocol outputs; 10⁴–10⁵-node runs are its reason to exist.
+
+Both run until quiescence (no messages in flight and no node asked to
+stay active) or a round cap, and record :class:`SimMetrics`.  Topology
+access goes through :class:`RadioTopology` — an interned kernel view
+(:mod:`repro.graphs.backend`) with the per-node receiver tuple cached
+once per simulator, so a broadcast costs one queue append instead of a
+neighbor-list rebuild plus copy, and ``send()`` validates against O(1)
+adjacency membership instead of scanning the base graph.  When
+:data:`repro.obs.OBS` is enabled, each completed run also mirrors its
+totals into the registry (``sim.rounds``, ``sim.transmissions``,
+``sim.receptions``, and one ``sim.msg.<kind>`` counter per message
+kind).
 """
 
 from __future__ import annotations
@@ -32,7 +52,14 @@ from ..obs import OBS
 
 N = TypeVar("N", bound=Hashable)
 
-__all__ = ["Message", "SimMetrics", "NodeProcess", "Context", "Simulator"]
+__all__ = [
+    "Message",
+    "SimMetrics",
+    "NodeProcess",
+    "Context",
+    "RadioTopology",
+    "Simulator",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,13 +95,93 @@ class SimMetrics:
         )
         return merged
 
+    def merge_parallel(self, other: "SimMetrics") -> "SimMetrics":
+        """Combined metrics of *concurrently*-run partitions.
+
+        Independent connected components execute simultaneously in the
+        synchronous model, so time is the maximum of the parts while
+        message work still sums — exactly the totals one simulator
+        running the whole (disconnected) topology would record.  Used
+        by :func:`repro.distributed.engine.simulate_components` to merge
+        per-component shards deterministically.
+        """
+        merged = SimMetrics(
+            rounds=max(self.rounds, other.rounds),
+            transmissions=self.transmissions + other.transmissions,
+            receptions=self.receptions + other.receptions,
+            by_kind=self.by_kind + other.by_kind,
+        )
+        return merged
+
+
+class RadioTopology:
+    """One topology, interned once, shared by every phase and engine.
+
+    Wraps a kernel view (:class:`~repro.graphs.backend.Backend`) and
+    caches what the simulators' hot paths need in *label* space:
+
+    * ``receivers[v]`` — the per-node receiver tuple, gathered from the
+      kernel's CSR rows once (adjacency insertion order preserved, so
+      delivery order matches the dict-based graph exactly).  A local
+      broadcast reuses this tuple; nothing is rebuilt or copied per
+      call.
+    * ``can_reach(u, v)`` — O(1) amortized adjacency membership for
+      ``send()`` validation (per-sender frozensets materialized lazily,
+      so broadcast-only protocols never pay for them).
+    * ``order_of[v]`` — the dense kernel id, which is also the process
+      iteration order; the batched engine sorts its active set by it so
+      callback order matches the reference engine's dict order.
+
+    Build one per topology and pass it to every simulator of a
+    multi-phase pipeline (``Simulator(graph, factory, topology=topo)``)
+    to pay the O(V+E) interning once instead of once per phase.
+    """
+
+    __slots__ = ("graph", "view", "receivers", "order_of", "_nbr_sets")
+
+    def __init__(self, graph: Graph, view=None):
+        from ..graphs.backend import adjacency_rows, build_kernel
+
+        self.graph = graph
+        if view is None:
+            view = build_kernel(graph, "indexed")
+        self.view = view
+        nodes = view.nodes
+        self.receivers: dict[Hashable, tuple] = {
+            nodes[i]: tuple(nodes[j] for j in row)
+            for i, row in enumerate(adjacency_rows(view))
+        }
+        self.order_of: dict[Hashable, int] = {
+            node: i for i, node in enumerate(nodes)
+        }
+        self._nbr_sets: dict[Hashable, frozenset] = {}
+
+    def __len__(self) -> int:
+        return len(self.receivers)
+
+    def can_reach(self, sender: Hashable, receiver: Hashable) -> bool:
+        """Whether ``receiver`` is in ``sender``'s radio range.
+
+        Raises:
+            KeyError: if ``sender`` is not a node of the topology.
+        """
+        nbrs = self._nbr_sets.get(sender)
+        if nbrs is None:
+            nbrs = self._nbr_sets[sender] = frozenset(self.receivers[sender])
+        return receiver in nbrs
+
 
 class Context:
-    """The API a node process sees during a callback."""
+    """The API a node process sees during a callback.
+
+    One context per node is created up front and reused for every
+    callback of the run — a context is pure plumbing (simulator +
+    node id), so per-delivery allocation bought nothing.
+    """
 
     __slots__ = ("_sim", "_node_id")
 
-    def __init__(self, sim: "Simulator", node_id: Hashable):
+    def __init__(self, sim, node_id: Hashable):
         self._sim = sim
         self._node_id = node_id
 
@@ -89,7 +196,12 @@ class Context:
     @property
     def neighbors(self) -> list:
         """Ids of this node's radio neighbors."""
-        return self._sim.graph.neighbors(self._node_id)
+        return list(self._sim.topology.receivers[self._node_id])
+
+    def is_neighbor(self, node: Hashable) -> bool:
+        """O(1) membership test against this node's radio neighborhood
+        (``node in set(ctx.neighbors)`` without the set build)."""
+        return self._sim.topology.can_reach(self._node_id, node)
 
     def send(self, to: Hashable, kind: str, **payload: Any) -> None:
         """Unicast to a neighbor (delivered next round).
@@ -98,19 +210,26 @@ class Context:
             ValueError: if ``to`` is not a neighbor — radios cannot
                 reach beyond the unit disk.
         """
-        if not self._sim.graph.has_edge(self._node_id, to):
+        if not self._sim.topology.can_reach(self._node_id, to):
             raise ValueError(f"{self._node_id!r} cannot reach non-neighbor {to!r}")
-        self._sim._enqueue(self._node_id, [to], kind, payload)
+        self._sim._enqueue(self._node_id, (to,), kind, payload)
 
     def broadcast(self, kind: str, **payload: Any) -> None:
         """Local broadcast to all neighbors: one transmission."""
-        self._sim._enqueue(self._node_id, self.neighbors, kind, payload)
+        self._sim._enqueue(
+            self._node_id,
+            self._sim.topology.receivers[self._node_id],
+            kind,
+            payload,
+        )
 
     def stay_active(self) -> None:
         """Keep the simulation alive even with no messages in flight.
 
         Needed by protocols with internal timers (e.g. waiting a known
-        number of rounds); quiescence otherwise ends the run.
+        number of rounds); quiescence otherwise ends the run.  A
+        request made during *any* callback of round ``r`` (including
+        ``on_message``) keeps the node active through round ``r + 1``.
         """
         self._sim._active_requests.add(self._node_id)
 
@@ -131,34 +250,89 @@ class NodeProcess:
     def on_message(self, ctx: Context, message: Message) -> None:
         """Called for each message delivered this round."""
 
+    def on_messages(self, ctx: Context, messages: list) -> None:
+        """Batch delivery: this round's whole inbox, in arrival order.
+
+        The batched engine calls this once per receiving node per
+        round.  The default implementation dispatches per message, so
+        protocols that only implement :meth:`on_message` behave
+        identically on both engines; hot protocols override it to
+        process the batch in one pass.
+        """
+        on_message = self.on_message
+        for message in messages:
+            on_message(ctx, message)
+
     def on_round(self, ctx: Context) -> None:
-        """Called once per round after all deliveries of the round."""
+        """Called once per round after all deliveries of the round.
+
+        The reference engine ticks every node; the batched engine only
+        ticks *active* nodes — those that received or sent a message
+        delivered this round, or requested ``stay_active()`` last
+        round.  A correct protocol acts in ``on_round`` only on state
+        changed by this round's deliveries or under a standing
+        ``stay_active()`` request, which makes the two schedules
+        indistinguishable.
+        """
 
 
 class Simulator:
-    """Run one protocol over a fixed topology.
+    """The reference engine: per-message delivery, every node ticked.
 
     Args:
         graph: the communication topology; nodes are the process ids.
         factory: builds the :class:`NodeProcess` for each node id.
+        topology: an optional prebuilt :class:`RadioTopology` (shared
+            across the phases of a pipeline); built from ``graph`` when
+            omitted.
+        record_rounds: when true, ``round_log`` records per-round
+            ``(transmissions, receptions)`` running totals — the
+            lockstep trace the engine-equivalence suite compares.
     """
 
-    def __init__(self, graph: Graph, factory: Callable[[Hashable], NodeProcess]):
+    def __init__(
+        self,
+        graph: Graph,
+        factory: Callable[[Hashable], NodeProcess],
+        *,
+        topology: RadioTopology | None = None,
+        record_rounds: bool = False,
+    ):
         self.graph = graph
+        self.topology = topology if topology is not None else RadioTopology(graph)
         self.processes: dict[Hashable, NodeProcess] = {
             v: factory(v) for v in graph.nodes()
         }
         self.metrics = SimMetrics()
         self.round = 0
-        self._queue: deque[tuple[Hashable, list, str, Mapping[str, Any]]] = deque()
+        self.round_log: list[tuple[int, int]] | None = (
+            [] if record_rounds else None
+        )
+        self._queue: deque[tuple[Hashable, tuple, str, Mapping[str, Any]]] = deque()
         self._active_requests: set[Hashable] = set()
+        self._contexts: dict[Hashable, Context] = {
+            v: Context(self, v) for v in self.processes
+        }
 
     def _enqueue(
-        self, sender: Hashable, receivers: list, kind: str, payload: Mapping[str, Any]
+        self, sender: Hashable, receivers: tuple, kind: str, payload: Mapping[str, Any]
     ) -> None:
-        self._queue.append((sender, list(receivers), kind, dict(payload)))
+        # ``receivers`` is either the cached (immutable) receiver tuple
+        # or a single-element unicast tuple, and ``payload`` is the
+        # fresh kwargs dict of the send call — neither needs a
+        # defensive copy.
+        self._queue.append((sender, receivers, kind, payload))
         self.metrics.transmissions += 1
         self.metrics.by_kind[kind] += 1
+
+    def _mirror_totals(self) -> None:
+        if OBS.enabled:
+            OBS.incr("sim.runs")
+            OBS.incr("sim.rounds", self.metrics.rounds)
+            OBS.incr("sim.transmissions", self.metrics.transmissions)
+            OBS.incr("sim.receptions", self.metrics.receptions)
+            for kind, count in self.metrics.by_kind.items():
+                OBS.incr(f"sim.msg.{kind}", count)
 
     def run(self, max_rounds: int = 10_000) -> SimMetrics:
         """Execute until quiescence or ``max_rounds``.
@@ -169,8 +343,9 @@ class Simulator:
             RuntimeError: if the round cap is hit with work remaining —
                 a protocol that fails to quiesce is a bug, not a result.
         """
+        contexts = self._contexts
         for node_id, proc in self.processes.items():
-            proc.on_start(Context(self, node_id))
+            proc.on_start(contexts[node_id])
         while self._queue or self._active_requests:
             if self.round >= max_rounds:
                 raise RuntimeError(
@@ -186,15 +361,13 @@ class Simulator:
                 msg = Message(sender=sender, kind=kind, payload=payload)
                 for r in receivers:
                     self.metrics.receptions += 1
-                    self.processes[r].on_message(Context(self, r), msg)
+                    self.processes[r].on_message(contexts[r], msg)
             # Round tick.
             for node_id, proc in self.processes.items():
-                proc.on_round(Context(self, node_id))
-        if OBS.enabled:
-            OBS.incr("sim.runs")
-            OBS.incr("sim.rounds", self.metrics.rounds)
-            OBS.incr("sim.transmissions", self.metrics.transmissions)
-            OBS.incr("sim.receptions", self.metrics.receptions)
-            for kind, count in self.metrics.by_kind.items():
-                OBS.incr(f"sim.msg.{kind}", count)
+                proc.on_round(contexts[node_id])
+            if self.round_log is not None:
+                self.round_log.append(
+                    (self.metrics.transmissions, self.metrics.receptions)
+                )
+        self._mirror_totals()
         return self.metrics

@@ -22,7 +22,8 @@ from typing import Hashable, Iterable, Sequence
 
 from ..graphs.graph import Graph
 from ..routing.backbone import BackboneRouter
-from .simulator import Context, Message, NodeProcess, SimMetrics, Simulator
+from .simulator import Context, Message, NodeProcess, RadioTopology, SimMetrics
+from .engine import make_simulator
 
 __all__ = ["TrafficStats", "run_traffic"]
 
@@ -87,6 +88,9 @@ def run_traffic(
     backbone: Iterable[Hashable],
     flows: Sequence[tuple[Hashable, Hashable]],
     max_rounds: int = 10_000,
+    *,
+    engine: str = "batched",
+    topology: RadioTopology | None = None,
 ) -> TrafficStats:
     """Transport one packet per flow over the backbone.
 
@@ -112,7 +116,9 @@ def run_traffic(
         initial[source].append((packet_id, path[1:]))
         expected_receiver[packet_id] = target
 
-    sim = Simulator(graph, lambda v: _RelayNode(v, initial[v]))
+    sim = make_simulator(
+        graph, lambda v: _RelayNode(v, initial[v]), engine=engine, topology=topology
+    )
     metrics = sim.run(max_rounds=max_rounds)
 
     delays: list[int] = []

@@ -57,6 +57,7 @@ __all__ = [
     "BITSET_AUTO_N",
     "KERNELS",
     "Backend",
+    "adjacency_rows",
     "build_kernel",
     "choose_kernel",
     "gain_tracker",
@@ -164,6 +165,33 @@ def build_kernel(
 
         return ArrayGraph.from_indexed(index)
     return index
+
+
+def adjacency_rows(view: Backend) -> list:
+    """Every node's neighbor-id row, one CSR gather over the kernel.
+
+    Returns a length-``n`` list; row ``i`` is a sequence of the dense
+    neighbor ids of node ``i`` **in source adjacency insertion order**
+    — the order :meth:`Graph.neighbors` would report, which is what
+    keeps consumers (the simulator's cached receiver tuples, above all)
+    bit-identical to the dict-based graph.  All three kernels carry an
+    insertion-ordered CSR (:class:`~repro.graphs.bitset.BitsetGraph`
+    and :class:`~repro.graphs.array.ArrayGraph` wrap an
+    :class:`IndexedGraph`), so the gather is one row-slice pass
+    whatever the concrete type.
+
+    Raises:
+        TypeError: if ``view`` is not one of the known kernels.
+    """
+    index = getattr(view, "indexed", view)
+    if not isinstance(index, IndexedGraph):
+        raise TypeError(
+            f"adjacency_rows needs a kernel view, got {type(view).__name__}"
+        )
+    indptr, indices = index.indptr, index.indices
+    return [
+        indices[indptr[i] : indptr[i + 1]] for i in range(len(index))
+    ]
 
 
 def gain_tracker(

@@ -1,0 +1,307 @@
+"""Unit tests for the batched round engine and its scheduling contract."""
+
+import pytest
+
+from repro.distributed import (
+    ENGINES,
+    BatchedSimulator,
+    Context,
+    Message,
+    NodeProcess,
+    RadioTopology,
+    SimMetrics,
+    Simulator,
+    make_simulator,
+    simulate_components,
+)
+from repro.graphs import Graph
+from repro.graphs.backend import adjacency_rows, build_kernel
+
+
+class Echo(NodeProcess):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.heard = []
+
+    def on_start(self, ctx):
+        ctx.broadcast("hello", origin=self.node_id)
+
+    def on_message(self, ctx, message):
+        self.heard.append((message.sender, message.kind))
+
+
+class TestMakeSimulator:
+    def test_engine_selection(self, path5):
+        assert isinstance(make_simulator(path5, Echo), BatchedSimulator)
+        assert isinstance(
+            make_simulator(path5, Echo, engine="reference"), Simulator
+        )
+
+    def test_unknown_engine_rejected(self, path5):
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_simulator(path5, Echo, engine="warp")
+
+    def test_engines_constant(self):
+        assert ENGINES == ("batched", "reference")
+
+
+class TestBatchDelivery:
+    def test_on_messages_receives_whole_inbox(self, star_graph):
+        inboxes = []
+
+        class Batch(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("hello")
+
+            def on_messages(self, ctx, messages):
+                inboxes.append((self.node_id, [m.sender for m in messages]))
+
+        BatchedSimulator(star_graph, Batch).run()
+        by_node = dict(inboxes)
+        # The center hears all five leaves in one batch, in id order
+        # (the order their broadcasts were enqueued).
+        assert by_node[0] == [1, 2, 3, 4, 5]
+        assert len(inboxes) == 6  # one batch per receiving node
+
+    def test_fallback_dispatches_per_message(self, star_graph):
+        sim = BatchedSimulator(star_graph, Echo)
+        sim.run()
+        assert sorted(s for s, _ in sim.processes[0].heard) == [1, 2, 3, 4, 5]
+
+    def test_inbox_order_matches_reference(self, complete4):
+        orders = {}
+
+        class Order(NodeProcess):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                orders[node_id] = []
+
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_message(self, ctx, message):
+                orders[self.node_id].append(message.sender)
+
+        BatchedSimulator(complete4, Order).run()
+        batched = {k: list(v) for k, v in orders.items()}
+        for v in orders.values():
+            v.clear()
+        Simulator(complete4, Order).run()
+        assert batched == orders
+
+
+class TestActiveSet:
+    def test_idle_nodes_not_ticked(self, path5):
+        ticks = []
+
+        class Tick(NodeProcess):
+            def on_start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send(1, "ping")
+
+            def on_round(self, ctx):
+                ticks.append((ctx.round, self.node_id))
+
+        BatchedSimulator(path5, Tick).run()
+        # Round 1: only the sender (0) and the receiver (1) tick; nodes
+        # 2-4 never run a callback.
+        assert ticks == [(1, 0), (1, 1)]
+
+    def test_zero_receiver_broadcast_still_ticks_sender(self):
+        ticks = []
+
+        class Lone(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("shout")
+
+            def on_round(self, ctx):
+                ticks.append(ctx.round)
+
+        metrics = BatchedSimulator(Graph(nodes=[7]), Lone).run()
+        assert ticks == [1]
+        assert metrics.transmissions == 1
+        assert metrics.receptions == 0
+
+    def test_active_order_is_process_order(self):
+        # Insertion order 3,1,2 — the active set must tick in that
+        # order, not sorted by label.
+        g = Graph(nodes=[3, 1, 2])
+        g.add_edge(3, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        order = []
+
+        class Tick(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+
+            def on_round(self, ctx):
+                order.append(self.node_id)
+
+        BatchedSimulator(g, Tick).run()
+        assert order[:3] == [3, 1, 2]
+
+    def test_stay_active_in_on_message_survives(self):
+        ticks = []
+
+        class Sticky(NodeProcess):
+            def on_start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send(1, "poke")
+
+            def on_message(self, ctx, message):
+                ctx.stay_active()
+
+            def on_round(self, ctx):
+                ticks.append((ctx.round, self.node_id))
+
+        for engine in ENGINES:
+            ticks.clear()
+            g = Graph(edges=[(0, 1)])
+            make_simulator(g, Sticky, engine=engine).run()
+            # Node 1 hears the poke in round 1 and stays active, so it
+            # must still get an on_round tick in round 2 even though
+            # the round began by re-arming the request set.
+            assert (2, 1) in ticks, engine
+
+    def test_round_cap_raises(self, path5):
+        class Chatty(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("spam")
+
+            def on_round(self, ctx):
+                ctx.broadcast("spam")
+
+        for engine in ENGINES:
+            with pytest.raises(RuntimeError, match="did not quiesce"):
+                make_simulator(path5, Chatty, engine=engine).run(max_rounds=10)
+
+
+class TestContextReuse:
+    def test_one_context_per_node(self, path5):
+        seen = {}
+
+        class Grab(NodeProcess):
+            def on_start(self, ctx):
+                ctx.broadcast("x")
+                seen.setdefault(self.node_id, set()).add(id(ctx))
+
+            def on_message(self, ctx, message):
+                seen[self.node_id].add(id(ctx))
+
+            def on_round(self, ctx):
+                seen[self.node_id].add(id(ctx))
+
+        BatchedSimulator(path5, Grab).run()
+        assert all(len(ids) == 1 for ids in seen.values())
+
+    def test_send_validation_via_kernel(self, path5):
+        class Bad(NodeProcess):
+            def on_start(self, ctx):
+                if self.node_id == 0:
+                    ctx.send(4, "ping")
+
+        for engine in ENGINES:
+            with pytest.raises(ValueError, match="cannot reach"):
+                make_simulator(path5, Bad, engine=engine).run()
+
+    def test_is_neighbor(self, path5):
+        probes = {}
+
+        class Probe(NodeProcess):
+            def on_start(self, ctx):
+                probes[self.node_id] = (ctx.is_neighbor(1), ctx.is_neighbor(4))
+
+        BatchedSimulator(path5, Probe).run()
+        assert probes[0] == (True, False)
+        assert probes[2] == (True, False)
+        assert probes[3] == (False, True)
+
+
+class TestRadioTopology:
+    def test_receivers_match_graph_order(self, path5):
+        topo = RadioTopology(path5)
+        assert topo.receivers[2] == tuple(path5.neighbors(2))
+        assert len(topo) == 5
+
+    def test_shared_topology_across_engines(self, path5):
+        topo = RadioTopology(path5)
+        m1 = make_simulator(path5, Echo, engine="batched", topology=topo).run()
+        m2 = make_simulator(path5, Echo, engine="reference", topology=topo).run()
+        assert m1 == m2
+
+    def test_can_reach(self, path5):
+        topo = RadioTopology(path5)
+        assert topo.can_reach(0, 1)
+        assert not topo.can_reach(0, 2)
+        with pytest.raises(KeyError):
+            topo.can_reach(99, 0)
+
+    def test_adjacency_rows_all_kernels(self, small_udg):
+        _, g = small_udg
+        expected = None
+        for kernel in ("indexed", "bitset", "array"):
+            view = build_kernel(g, kernel)
+            rows = [list(row) for row in adjacency_rows(view)]
+            if expected is None:
+                expected = rows
+            else:
+                assert rows == expected, kernel
+
+    def test_adjacency_rows_rejects_plain_graph(self, path5):
+        with pytest.raises(TypeError, match="kernel view"):
+            adjacency_rows(path5)
+
+
+class TestMetricsMerge:
+    def test_merge_sequential_totals(self):
+        a = SimMetrics(rounds=2, transmissions=3, receptions=4)
+        a.by_kind["x"] = 3
+        b = SimMetrics(rounds=5, transmissions=7, receptions=1)
+        b.by_kind["x"] = 2
+        b.by_kind["y"] = 7
+        m = a.merge(b)
+        assert (m.rounds, m.transmissions, m.receptions) == (7, 10, 5)
+        assert m.by_kind == {"x": 5, "y": 7}
+        # Inputs untouched.
+        assert a.rounds == 2 and b.by_kind["y"] == 7
+
+    def test_merge_parallel_takes_max_rounds(self):
+        a = SimMetrics(rounds=2, transmissions=3, receptions=4)
+        b = SimMetrics(rounds=5, transmissions=7, receptions=1)
+        m = a.merge_parallel(b)
+        assert (m.rounds, m.transmissions, m.receptions) == (5, 10, 5)
+
+
+def _extract_heard(sim):
+    return sorted(
+        (p.node_id, len(p.heard)) for p in sim.processes.values()
+    )
+
+
+class TestSimulateComponents:
+    def test_matches_whole_topology_run(self):
+        # Two components: a triangle and an edge.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (10, 11)])
+        results, merged = simulate_components(g, Echo, extract=_extract_heard)
+        whole = BatchedSimulator(g, Echo)
+        whole_metrics = whole.run()
+        assert merged == whole_metrics
+        assert [h for r in results for h in r] == _extract_heard(whole)
+
+    def test_single_component_short_circuits(self, path5):
+        results, merged = simulate_components(path5, Echo, extract=_extract_heard)
+        assert len(results) == 1
+        assert merged == BatchedSimulator(path5, Echo).run()
+
+    def test_parallel_jobs_bit_identical(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (8, 9)])
+        serial = simulate_components(g, Echo, extract=_extract_heard, jobs=1)
+        parallel = simulate_components(g, Echo, extract=_extract_heard, jobs=3)
+        assert serial == parallel
+
+    def test_reference_engine_shards_identically(self):
+        g = Graph(edges=[(0, 1), (1, 2), (3, 4)])
+        b = simulate_components(g, Echo, extract=_extract_heard)
+        r = simulate_components(g, Echo, extract=_extract_heard, engine="reference")
+        assert b == r
