@@ -6,8 +6,12 @@ ServerThread`), drives the deterministic load generator at a fixed
 offered load over a fixed instance grid, and records throughput,
 client-side latency percentiles (p50 as ``meta.seconds_median``, so the
 ``bench compare`` time gate watches serving latency) and the cache-hit
-rate.  Every response is schema-validated and audited for the
-bit-identical cache contract as part of the run.
+rate.  Latency percentiles (p50/p90/p95/p99) come straight from the
+load generator's merged :class:`~repro.obs.metrics.Histogram`, and the
+merged histogram record itself is committed under the run record's
+``histograms`` section.  Every response is schema-validated and audited
+for the bit-identical cache contract and for trace-ID uniqueness as
+part of the run.
 
 The committed counters are the *deterministic* subset of the serving
 metrics — offered requests and unique cells solved.  The latter is
@@ -74,7 +78,8 @@ def run_serve_case(fixture: str, jobs: int) -> dict:
             f"{fixture}: load audit failed "
             f"({report['errors']} errors, "
             f"{len(report['schema_violations'])} schema violations, "
-            f"{len(report['identity_violations'])} identity violations)"
+            f"{len(report['identity_violations'])} identity violations, "
+            f"{len(report['trace_violations'])} trace violations)"
         )
     if stats["cells_solved"] != unique:
         # The committed counters must be deterministic; cells_solved is
@@ -107,6 +112,7 @@ def run_serve_case(fixture: str, jobs: int) -> dict:
                 "count": latency["count"],
             }
         },
+        "histograms": {"load.latency": report["latency_histogram"]},
         "results": {
             "requests_per_second": report["requests_per_second"],
             "cache_hit_rate": report["server"]["cache_hit_rate"],
@@ -119,6 +125,7 @@ def run_serve_case(fixture: str, jobs: int) -> dict:
             "seconds_median": latency["p50"],
             "seconds_mean": latency["mean"],
             "seconds_p90": latency["p90"],
+            "seconds_p95": latency["p95"],
             "seconds_p99": latency["p99"],
             "seconds_max": latency["max"],
             "requests_per_second": report["requests_per_second"],

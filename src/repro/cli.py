@@ -130,7 +130,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _serve_main(args[1:])
     if args and args[0] == "serve-client":
         return _serve_client_main(args[1:])
+    if args and args[0] == "obs":
+        return _obs_main(args[1:])
     return _experiments_main(args)
+
+
+def _obs_main(argv: Sequence[str]) -> int:
+    """``python -m repro obs tail FILE``: live telemetry viewer."""
+    if not argv or argv[0] != "tail":
+        print(
+            "usage: python -m repro obs tail FILE [--interval SECONDS] "
+            "[--once]",
+            file=sys.stderr,
+        )
+        return 2
+    from .obs.tail import main as tail_main
+
+    return tail_main(argv[1:])
 
 
 def _bench_main(argv: Sequence[str]) -> int:
@@ -205,8 +221,33 @@ def _serve_main(argv: Sequence[str]) -> int:
         help="LRU result-cache entries; 0 disables caching "
         "(default: 1024)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a Prometheus text exposition (v0.0.4) at "
+        "http://127.0.0.1:N/metrics while running; 0 lets the OS pick",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="append periodic repro.obs/metrics-snapshot/v1 JSONL "
+        "snapshots to FILE (view live with 'python -m repro obs tail')",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="snapshot period for --metrics-out (default: 1.0)",
+    )
     _add_obs_flags(parser)
     args = parser.parse_args(argv)
+    if args.metrics_interval <= 0:
+        print("--metrics-interval must be > 0", file=sys.stderr)
+        return 2
 
     from .serve import ServeConfig, run_server
 
@@ -224,6 +265,8 @@ def _serve_main(argv: Sequence[str]) -> int:
         print(exc, file=sys.stderr)
         return 2
 
+    telemetry: dict = {}
+
     def on_ready(server) -> None:
         address = server.address
         rendered = (
@@ -235,15 +278,64 @@ def _serve_main(argv: Sequence[str]) -> int:
             f"cache={args.cache_size})",
             flush=True,
         )
+        # Live telemetry (docs/observability.md §7): both consumers
+        # render merge copies from SolveServer.metrics_registry, never
+        # the shared OBS, so scraping cannot perturb the run record.
+        if args.metrics_port is not None:
+            from .obs.expose import MetricsExporter, render_exposition
+
+            exporter = MetricsExporter(
+                lambda: render_exposition(server.metrics_registry()),
+                port=args.metrics_port,
+            )
+            host, metrics_port = exporter.start()
+            telemetry["exporter"] = exporter
+            print(
+                f"metrics exposition on http://{host}:{metrics_port}/metrics",
+                flush=True,
+            )
+        if args.metrics_out:
+            from .obs.expose import PeriodicSnapshotter, SnapshotStream
+
+            stream = SnapshotStream(args.metrics_out, source="serve")
+            snapshotter = PeriodicSnapshotter(
+                stream, server.metrics_registry, interval=args.metrics_interval
+            )
+            snapshotter.start()
+            telemetry["snapshotter"] = snapshotter
+            telemetry["stream"] = stream
+            print(
+                f"metrics snapshots to {args.metrics_out} "
+                f"(every {args.metrics_interval}s)",
+                flush=True,
+            )
 
     session = _ObsSession(args)
     session.start()
     with session.profiled():
         server = run_server(config, on_ready=on_ready)
-    # Fold the daemon's lifetime metrics (serve.* counters/timers plus
-    # the merged solver counters) into the registry before draining the
-    # session, so --trace/--stats-out describe the whole serving run.
+    if "exporter" in telemetry:
+        telemetry["exporter"].stop()
+    if "snapshotter" in telemetry:
+        # stop() writes one final snapshot from the drained server, so
+        # the stream's last line carries exactly the counters the
+        # --stats-out run record freezes below.
+        telemetry["snapshotter"].stop()
+        telemetry["stream"].close()
+        print(f"metrics snapshots written to {args.metrics_out}")
+    # Fold the daemon's lifetime metrics (serve.* counters/timers/
+    # histograms plus the merged solver counters) into the registry
+    # before draining the session, so --trace/--stats-out describe the
+    # whole serving run.
     if session.wanted:
+        # The inline (jobs=1) solve path captures-and-resets the shared
+        # registry around each cell, leaving the *last* cell's counters
+        # behind; clear that residue so the record holds exactly the
+        # daemon's lifetime metrics — bit-identical to the final
+        # --metrics-out snapshot.
+        from .obs import OBS as _OBS
+
+        _OBS.reset()
         server.emit_obs()
     session.stop_hooks()
     snapshot = server.stats.snapshot(server.cache)

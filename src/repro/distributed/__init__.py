@@ -28,6 +28,7 @@ from .simulator import (
 from .engine import (
     ENGINES,
     BatchedSimulator,
+    RoundTelemetry,
     make_simulator,
     simulate_components,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "Simulator",
     "ENGINES",
     "BatchedSimulator",
+    "RoundTelemetry",
     "make_simulator",
     "simulate_components",
     "LeaderNode",

@@ -41,6 +41,22 @@ _LAZY = {
     "replay": "events",
     "validate_events": "events",
     "write_events": "events",
+    "Histogram": "metrics",
+    "LAYOUT_ID": "metrics",
+    "record_percentile": "metrics",
+    "validate_histogram_record": "metrics",
+    "EXPOSITION_VERSION": "expose",
+    "SNAPSHOT_SCHEMA_ID": "expose",
+    "MetricsExporter": "expose",
+    "PeriodicSnapshotter": "expose",
+    "SnapshotStream": "expose",
+    "metric_name": "expose",
+    "parse_snapshots": "expose",
+    "read_snapshots": "expose",
+    "render_exposition": "expose",
+    "snapshot_state": "expose",
+    "validate_exposition": "expose",
+    "validate_snapshot": "expose",
     "MemTracker": "profile",
     "mem_tracing": "profile",
     "profile_to": "profile",

@@ -191,12 +191,13 @@ class Registry:
     the benchmark fixtures use.
     """
 
-    __slots__ = ("enabled", "_counters", "_timers", "_hooks")
+    __slots__ = ("enabled", "_counters", "_timers", "_histograms", "_hooks")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._timers: dict[str, Timer] = {}
+        self._histograms: dict = {}  # name -> metrics.Histogram
         self._hooks: tuple[SpanHook, ...] = ()
 
     # -- state --------------------------------------------------------
@@ -208,9 +209,11 @@ class Registry:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all counters and timers (the enabled flag is kept)."""
+        """Drop all counters, timers and histograms (the enabled flag
+        is kept)."""
         self._counters.clear()
         self._timers.clear()
+        self._histograms.clear()
 
     def capture(self, reset: bool = True):
         """Context manager: (optionally reset,) enable, then restore.
@@ -260,6 +263,22 @@ class Registry:
             t = self._timers[name] = Timer(name)
         return t
 
+    def histogram(self, name: str):
+        """The :class:`~repro.obs.metrics.Histogram` called ``name``,
+        created on first use.  Imported lazily so the counter/timer
+        core stays import-light for code that never observes one."""
+        h = self._histograms.get(name)
+        if h is None:
+            from .metrics import Histogram
+
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def observe(self, name: str, value: int | float) -> None:
+        """Record one sample into histogram ``name`` (callers guard
+        with ``if OBS.enabled:``, exactly as for :meth:`incr`)."""
+        self.histogram(name).observe(value)
+
     def note(self, name: str, data: dict | None = None) -> None:
         """Emit an instantaneous structured event to the attached hooks.
 
@@ -304,9 +323,24 @@ class Registry:
             for name, t in self.timers().items()
         }
 
+    def histograms(self) -> dict:
+        """Histogram objects keyed by name, sorted for stable output."""
+        return {name: self._histograms[name] for name in sorted(self._histograms)}
+
+    def histograms_record(self) -> dict:
+        """Histograms in the cumulative RunRecord/snapshot form
+        (:meth:`repro.obs.metrics.Histogram.to_record`)."""
+        return {name: h.to_record() for name, h in self.histograms().items()}
+
     def snapshot(self) -> dict:
-        """A JSON-ready dump: ``{"counters": ..., "timings": ...}``."""
-        return {"counters": self.counters(), "timings": self.timings()}
+        """A JSON-ready dump: ``{"counters": ..., "timings": ...}`` —
+        plus ``"histograms"`` whenever any were observed (the key is
+        omitted otherwise so pre-histogram readers see the old shape).
+        """
+        snap = {"counters": self.counters(), "timings": self.timings()}
+        if self._histograms:
+            snap["histograms"] = self.histograms_record()
+        return snap
 
     def __iter__(self) -> Iterator[Counter]:
         return iter(self._counters.values())
@@ -320,19 +354,26 @@ class Registry:
         full timer statistics — ``total``/``count``/``max`` — so two
         workers' states merge losslessly.
         """
-        return {
+        state = {
             "counters": self.counters(),
             "timers": {
                 name: {"total": t.total, "count": t.count, "max": t.max}
                 for name, t in self.timers().items()
             },
         }
+        if self._histograms:
+            state["histograms"] = {
+                name: h.state() for name, h in self.histograms().items()
+            }
+        return state
 
     def merge_state(self, state: dict) -> None:
         """Fold a worker's :meth:`export_state` into this registry.
 
-        Counters sum; timers merge ``total``/``count``/``max``.  The
-        one exception: ``mem.*.peak_bytes`` counters (written by
+        Counters sum; timers merge ``total``/``count``/``max``;
+        histograms merge bucket-exactly
+        (:meth:`repro.obs.metrics.Histogram.merge_state`).  The one
+        exception: ``mem.*.peak_bytes`` counters (written by
         :class:`repro.obs.profile.MemTracker`) are *peaks*, so they
         merge by maximum — summing peak memory across processes would
         report a number no process ever used.
@@ -350,6 +391,8 @@ class Registry:
             timer.count += entry["count"]
             if entry.get("max", 0.0) > timer.max:
                 timer.max = entry["max"]
+        for name, entry in state.get("histograms", {}).items():
+            self.histogram(name).merge_state(entry)
 
 
 class _Capture:

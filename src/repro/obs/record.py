@@ -61,6 +61,33 @@ RUN_RECORD_SCHEMA: dict = {
             },
         },
         "results": {"type": "object"},
+        "histograms": {
+            # Optional: one entry per histogram, in the cumulative
+            # [upper_bound, cumulative_count] form of
+            # repro.obs.metrics.Histogram.to_record (finite bounds
+            # only; see validate_histogram_record).
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "sum", "buckets"],
+                "properties": {
+                    "count": {"type": "integer", "minimum": 0},
+                    "sum": {"type": "number"},
+                    "min": {"type": ["number", "null"]},
+                    "max": {"type": ["number", "null"]},
+                    "buckets": {
+                        "type": "array",
+                        "items": {
+                            "type": "array",
+                            "items": [
+                                {"type": "number"},
+                                {"type": "integer", "minimum": 0},
+                            ],
+                        },
+                    },
+                },
+            },
+        },
         "meta": {"type": "object"},
     },
 }
@@ -80,6 +107,9 @@ class RunRecord:
         counters: flat name → numeric tally, straight from the registry.
         timings: name → ``{"seconds": total, "count": spans}``.
         results: outcome sizes (``cds_size``, ``dominators``, ...).
+        histograms: name → cumulative bucket form (optional; empty for
+            runs that observed no distributions — serialised records
+            omit the key then, keeping pre-histogram records valid).
         meta: anything else worth keeping (CLI flags, library version).
     """
 
@@ -89,6 +119,7 @@ class RunRecord:
     counters: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
     results: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
     meta: dict = field(default_factory=dict)
 
     @classmethod
@@ -110,13 +141,14 @@ class RunRecord:
             counters=registry.counters(),
             timings=registry.timings(),
             results=dict(results or {}),
+            histograms=registry.histograms_record(),
             meta=dict(meta or {}),
         )
 
     # -- serialisation ------------------------------------------------
 
     def to_json_obj(self) -> dict:
-        return {
+        obj = {
             "schema": SCHEMA_ID,
             "algorithm": self.algorithm,
             "instance": self.instance,
@@ -126,6 +158,9 @@ class RunRecord:
             "results": self.results,
             "meta": self.meta,
         }
+        if self.histograms:
+            obj["histograms"] = self.histograms
+        return obj
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_json_obj(), indent=indent, sort_keys=False)
@@ -148,6 +183,7 @@ class RunRecord:
             counters=dict(obj["counters"]),
             timings={k: dict(v) for k, v in obj["timings"].items()},
             results=dict(obj["results"]),
+            histograms={k: dict(v) for k, v in obj.get("histograms", {}).items()},
             meta=dict(obj.get("meta", {})),
         )
 
@@ -211,6 +247,15 @@ def validate_run_record(obj: object) -> list[str]:
                 errors.append(f"timing {name!r}: seconds must be a finite number >= 0")
             if isinstance(count, bool) or not isinstance(count, int) or count < 0:
                 errors.append(f"timing {name!r}: count must be an integer >= 0")
+    if "histograms" in obj:
+        histograms = obj["histograms"]
+        if not isinstance(histograms, Mapping):
+            errors.append("histograms must be an object")
+        else:
+            from .metrics import validate_histogram_record
+
+            for name, entry in histograms.items():
+                errors.extend(validate_histogram_record(name, entry))
     if "meta" in obj and not isinstance(obj["meta"], Mapping):
         errors.append("meta must be an object")
     return errors

@@ -17,11 +17,19 @@ While driving load the generator also *audits* the daemon:
   responses for the same instance key must serialise to the same
   canonical JSON, cached or not.
 
+* every ok solve response must carry a daemon-issued ``trace`` ID, and
+  no two responses may share one — traces are issued per request, so a
+  duplicate means the correlation chain is broken.
+
 The report (``repro.serve/load-report/v1``) carries throughput,
 client-side latency percentiles, the daemon's own ``stats`` snapshot
-(cache hit rate), and any violations found.  ``BENCH_serve.json`` and
-the ``serve-smoke`` CI job are both built on it; the workflow is
-documented in ``docs/serving.md``.
+(cache hit rate), and any violations found.  Latency percentiles come
+from per-worker :class:`~repro.obs.metrics.Histogram` objects merged
+exactly in the parent (the same machinery ``--jobs N`` uses for
+counters), and the merged histogram rides along in record form as
+``latency_histogram``.  ``BENCH_serve.json`` and the ``serve-smoke``
+CI job are both built on it; the workflow is documented in
+``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -31,9 +39,9 @@ import random
 import threading
 from time import perf_counter
 
+from ..obs.metrics import Histogram
 from .client import ServeClient
 from .protocol import solve_request, validate_response
-from .server import percentile
 
 __all__ = ["LOAD_REPORT_SCHEMA_ID", "request_sequence", "run_load"]
 
@@ -89,7 +97,7 @@ class _Worker(threading.Thread):
         self.requests = requests
         self.timeout = timeout
         self.responses: list[dict] = []
-        self.latencies: list[float] = []
+        self.histogram = Histogram("load.latency")
         self.error: BaseException | None = None
 
     def run(self) -> None:
@@ -98,7 +106,7 @@ class _Worker(threading.Thread):
                 for request in self.requests:
                     t0 = perf_counter()
                     response = client.request(request)
-                    self.latencies.append(perf_counter() - t0)
+                    self.histogram.observe(perf_counter() - t0)
                     self.responses.append(response)
         except BaseException as exc:  # noqa: BLE001 - reported in the report
             self.error = exc
@@ -148,7 +156,9 @@ def run_load(
 
     schema_violations: list[dict] = []
     identity_violations: list[dict] = []
+    trace_violations: list[dict] = []
     canonical: dict[str, str] = {}  # instance key -> canonical result JSON
+    seen_traces: dict[int, str] = {}  # trace -> request id that first used it
     responses = 0
     errors = 0
     cache_hits = 0
@@ -164,6 +174,21 @@ def run_load(
             if response["status"] == "error":
                 errors += 1
                 continue
+            trace = response.get("trace")
+            if trace is None:
+                trace_violations.append(
+                    {"id": request["id"], "reason": "missing trace"}
+                )
+            elif trace in seen_traces:
+                trace_violations.append(
+                    {
+                        "id": request["id"],
+                        "reason": f"trace {trace} already used by"
+                        f" {seen_traces[trace]}",
+                    }
+                )
+            else:
+                seen_traces[trace] = request["id"]
             cache_hits += 1 if response["cached"] else 0
             key = _result_key(request)
             rendered = json.dumps(response["result"], sort_keys=True)
@@ -173,11 +198,19 @@ def run_load(
                     {"id": request["id"], "key": key}
                 )
 
-    latencies = [lat for w in workers for lat in w.latencies]
+    merged = Histogram("load.latency")
+    for worker in workers:
+        merged.merge(worker.histogram)
     with ServeClient(address, timeout=timeout) as client:
         server_stats = client.stats().get("stats", {})
     cache = server_stats.get("cache", {})
     lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    clean = (
+        not schema_violations
+        and not identity_violations
+        and not trace_violations
+        and not errors
+    )
     return {
         "schema": LOAD_REPORT_SCHEMA_ID,
         "requests": responses,
@@ -187,18 +220,21 @@ def run_load(
         "errors": errors,
         "cache_hits_observed": cache_hits,
         "latency_seconds": {
-            "count": len(latencies),
-            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
-            "p50": percentile(latencies, 50),
-            "p90": percentile(latencies, 90),
-            "p99": percentile(latencies, 99),
-            "max": max(latencies) if latencies else 0.0,
+            "count": merged.count,
+            "mean": merged.mean,
+            "p50": merged.percentile(50),
+            "p90": merged.percentile(90),
+            "p95": merged.percentile(95),
+            "p99": merged.percentile(99),
+            "max": merged.max if merged.max is not None else 0.0,
         },
+        "latency_histogram": merged.to_record(),
         "server": {
             "stats": server_stats,
             "cache_hit_rate": cache.get("hits", 0) / lookups if lookups else 0.0,
         },
         "schema_violations": schema_violations,
         "identity_violations": identity_violations,
-        "ok": not schema_violations and not identity_violations and not errors,
+        "trace_violations": trace_violations,
+        "ok": clean,
     }

@@ -42,8 +42,8 @@ stays open either way)::
 (instance, algorithm, kernel) — a cached response's ``result`` is
 byte-for-byte the JSON of a cold solve's (tested).  The transport
 fields around it (``id``, ``cached``, ``coalesced``, ``batch``,
-``elapsed``) describe *this* exchange and are excluded from the
-guarantee.  See ``docs/serving.md``.
+``elapsed``, and the per-request ``trace`` ID) describe *this*
+exchange and are excluded from the guarantee.  See ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -274,6 +274,11 @@ def validate_response(obj: object) -> list[str]:
     if status not in ("ok", "error"):
         errors.append(f"status must be 'ok' or 'error', got {status!r}")
         return errors
+    trace = obj.get("trace")
+    if trace is not None and (
+        isinstance(trace, bool) or not isinstance(trace, int) or trace < 1
+    ):
+        errors.append("trace must be an integer >= 1 when present")
     if status == "error":
         error = obj.get("error")
         if not isinstance(error, Mapping):

@@ -29,13 +29,23 @@ paying the per-invocation rebuild cost of the CLI.  The moving parts:
   into that request's structured error response while the good cells
   still answer normally.
 * **Metrics** (:class:`ServerStats`): always-on request/cache/batch
-  tallies and a latency reservoir (p50/p99).  Scrape live with the
-  ``stats`` op; at drain the daemon folds everything into the
-  :data:`repro.obs.OBS` registry (``serve.*`` counters and timers plus
-  the merged solver counters) so ``--trace`` / ``--stats-out`` /
-  ``--events-out`` work exactly as on the other CLI modes.  While
-  serving, each completed request also emits a ``serve.request``
-  obs *note* so ``--events-out`` captures per-request traces.
+  tallies, a latency reservoir, and wall/queue/solve-time
+  :class:`~repro.obs.metrics.Histogram` distributions.  The ``stats``
+  op folds a *live* copy (:meth:`SolveServer.metrics_registry`) so
+  mid-run percentiles are accurate, and the same fold feeds the
+  ``--metrics-port`` Prometheus exposition and the ``--metrics-out``
+  snapshot stream (:mod:`repro.obs.expose`); at drain the daemon folds
+  everything into the :data:`repro.obs.OBS` registry (``serve.*``
+  counters, timers and histograms plus the merged solver counters) so
+  ``--trace`` / ``--stats-out`` / ``--events-out`` work exactly as on
+  the other CLI modes.
+* **Trace IDs**: every solve request gets a monotonically increasing
+  integer ``trace``, carried through the batcher and the single-flight
+  future and echoed in the response.  Each completed request emits a
+  ``serve.request`` obs *note* with its trace, and each batch a
+  ``serve.batch`` note listing the traces it solved — so one request
+  correlates with its batch solve in ``--events-out`` even when
+  coalesced or batched with others.
 
 Protocol reference, cache semantics and the ops runbook:
 ``docs/serving.md``.
@@ -51,6 +61,8 @@ from time import perf_counter
 from typing import Mapping
 
 from ..obs import OBS
+from ..obs.core import Registry
+from ..obs.metrics import Histogram
 from ..reliability.failures import CellError
 from .cache import ResultCache, request_fingerprint
 from .protocol import (
@@ -249,14 +261,30 @@ class ServerStats:
     batch_fallbacks: int = 0
     latencies: list = field(default_factory=list)  # solve-request seconds
     batch_seconds: list = field(default_factory=list)
+    # Live latency distributions (docs/observability.md §7): wall is
+    # request arrival -> response, queue is enqueue -> batch start,
+    # solve is the batch solve duration charged to each of its cells.
+    wall: Histogram = field(
+        default_factory=lambda: Histogram("serve.latency.wall")
+    )
+    queue_wait: Histogram = field(
+        default_factory=lambda: Histogram("serve.latency.queue")
+    )
+    solve: Histogram = field(
+        default_factory=lambda: Histogram("serve.latency.solve")
+    )
 
     def record_request(self, op: str) -> None:
         self.requests += 1
         self.ops[op] = self.ops.get(op, 0) + 1
 
     def record_latency(self, seconds: float) -> None:
+        self.wall.observe(seconds)
         if len(self.latencies) < _LATENCY_RESERVOIR:
             self.latencies.append(seconds)
+
+    def record_queue(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
 
     def record_batch(self, size: int, seconds: float, fallback: bool) -> None:
         self.batches += 1
@@ -265,6 +293,10 @@ class ServerStats:
         self.batch_fallbacks += 1 if fallback else 0
         if len(self.batch_seconds) < _LATENCY_RESERVOIR:
             self.batch_seconds.append(seconds)
+        # Each cell in the batch waited for the whole batch solve, so
+        # the batch duration is every member's solve time.
+        for _ in range(size):
+            self.solve.observe(seconds)
 
     def snapshot(self, cache: ResultCache) -> dict:
         """The JSON payload of the ``stats`` op."""
@@ -287,16 +319,25 @@ class ServerStats:
                 "p99": percentile(lat, 99),
                 "max": max(lat) if lat else 0.0,
             },
+            "histograms": {
+                h.name: h.summary()
+                for h in (self.wall, self.queue_wait, self.solve)
+            },
         }
 
     def obs_state(self, cache: ResultCache) -> dict:
-        """Counters/timers in :meth:`repro.obs.Registry.merge_state` shape.
+        """Counters/timers/histograms in
+        :meth:`repro.obs.Registry.merge_state` shape.
 
         Folded into ``OBS`` once, at drain — the async loop itself never
         increments registry counters while serving, because the inline
         (``jobs=1``) solve path captures the registry around each cell
         and would wipe concurrent increments.  ``ServerStats`` is the
-        durable store; the registry gets the totals.
+        durable store; the registry gets the totals.  Live consumers
+        (the ``stats`` op, the exporter, the snapshot stream) fold the
+        same state into a *fresh* registry via
+        :meth:`SolveServer.metrics_registry` instead of touching
+        ``OBS`` mid-run.
         """
         counters = {
             "serve.requests": self.requests,
@@ -326,7 +367,15 @@ class ServerStats:
                 "count": len(self.batch_seconds),
                 "max": max(self.batch_seconds),
             }
-        return {"counters": counters, "timers": timers}
+        state = {"counters": counters, "timers": timers}
+        histograms = {
+            h.name: h.state()
+            for h in (self.wall, self.queue_wait, self.solve)
+            if h.count
+        }
+        if histograms:
+            state["histograms"] = histograms
+        return state
 
 
 # -- the daemon -------------------------------------------------------
@@ -351,6 +400,8 @@ class SolveServer:
         self._merged_solver_counters: dict[str, float] = {}
         self._pool = None
         self._writers: set = set()
+        self._next_trace = 0   # last issued request trace ID
+        self._batch_seq = 0    # last issued batch sequence number
 
     # -- lifecycle ----------------------------------------------------
 
@@ -439,9 +490,32 @@ class SolveServer:
         request sequence, so ``--stats-out`` records are comparable
         run-to-run.
         """
-        OBS.merge_state(self.stats.obs_state(self.cache))
+        OBS.merge_state(self.metrics_state())
+
+    def metrics_state(self) -> dict:
+        """A live fold of everything this daemon has measured so far:
+        the ``serve.*`` counters/timers/histograms plus the solver
+        counters merged across every solved cell — the exact state
+        :meth:`emit_obs` folds into ``OBS`` at drain, built on demand
+        mid-run.  Plain attribute reads under the GIL, so safe to call
+        from the exporter thread or the ``stats`` op while serving.
+        """
+        state = self.stats.obs_state(self.cache)
         if self._merged_solver_counters:
-            OBS.merge_state({"counters": dict(self._merged_solver_counters)})
+            counters = state["counters"]
+            for name, value in dict(self._merged_solver_counters).items():
+                counters[name] = counters.get(name, 0) + value
+        return state
+
+    def metrics_registry(self) -> Registry:
+        """A fresh :class:`~repro.obs.core.Registry` holding
+        :meth:`metrics_state` — what the Prometheus exposition and the
+        snapshot stream render.  A new registry per call: the live
+        stats keep mutating, and handing out merge copies keeps the
+        shared ``OBS`` untouched until drain."""
+        registry = Registry()
+        registry.merge_state(self.metrics_state())
+        return registry
 
     # -- connection handling ------------------------------------------
 
@@ -491,9 +565,14 @@ class SolveServer:
         if request["op"] == "ping":
             return self._ok(request_id, op="ping")
         if request["op"] == "stats":
-            return self._ok(
-                request_id, op="stats", stats=self.stats.snapshot(self.cache)
-            )
+            # A live fold (satellite of PR 6's drain-only merge): the
+            # histogram percentiles and counters come from the same
+            # state the drain-time RunRecord will freeze, so mid-run
+            # stats are accurate while requests are still in flight.
+            payload = self.stats.snapshot(self.cache)
+            payload["inflight"] = len(self._inflight)
+            payload["queued"] = self._queue.qsize() if self._queue else 0
+            return self._ok(request_id, op="stats", stats=payload)
         if request["op"] == "shutdown":
             self.request_shutdown()
             return self._ok(request_id, op="shutdown", draining=True)
@@ -502,6 +581,12 @@ class SolveServer:
     async def _solve(self, request: dict) -> dict:
         t0 = perf_counter()
         request_id = request["id"]
+        # One trace ID per solve request, issued in arrival order on
+        # the loop thread: the correlation key tying this request's
+        # response, its serve.request note and the serve.batch note of
+        # whichever batch solved it.
+        self._next_trace += 1
+        trace = self._next_trace
         fingerprint = request_fingerprint(request)
         use_cache = request["cache"] and self.config.cache_size > 0
         if use_cache:
@@ -509,8 +594,8 @@ class SolveServer:
             if hit is not None:
                 elapsed = perf_counter() - t0
                 self.stats.record_latency(elapsed)
-                self._note(request_id, fingerprint, cached=True, batch=0,
-                           elapsed=elapsed)
+                self._note(request_id, fingerprint, trace=trace, cached=True,
+                           batch=0, elapsed=elapsed)
                 return self._ok(
                     request_id,
                     result=hit,
@@ -518,6 +603,7 @@ class SolveServer:
                     cached=True,
                     batch=0,
                     elapsed=elapsed,
+                    trace=trace,
                 )
         coalesced = False
         future = self._inflight.get(fingerprint) if use_cache else None
@@ -526,16 +612,17 @@ class SolveServer:
             if use_cache:
                 self._inflight[fingerprint] = future
             await self._queue.put((request, fingerprint if use_cache else None,
-                                   future))
+                                   future, trace, t0))
         else:
             self.stats.coalesced += 1
             coalesced = True
-        outcome, batch_size = await future
+        outcome, batch_size, batch_seq = await future
         elapsed = perf_counter() - t0
         self.stats.record_latency(elapsed)
         if "ok" in outcome:
-            self._note(request_id, fingerprint, cached=False,
-                       batch=batch_size, elapsed=elapsed)
+            self._note(request_id, fingerprint, trace=trace, cached=False,
+                       batch=batch_size, elapsed=elapsed, batch_seq=batch_seq,
+                       coalesced=coalesced)
             response = self._ok(
                 request_id,
                 result=outcome["ok"],
@@ -543,6 +630,7 @@ class SolveServer:
                 cached=False,
                 batch=batch_size,
                 elapsed=elapsed,
+                trace=trace,
             )
             if coalesced:
                 response["coalesced"] = True
@@ -553,6 +641,7 @@ class SolveServer:
             "id": request_id,
             "status": "error",
             "error": dict(outcome["error"]),
+            "trace": trace,
         }
 
     # -- batching -----------------------------------------------------
@@ -583,8 +672,14 @@ class SolveServer:
             await self._run_batch(loop, batch)
 
     async def _run_batch(self, loop, batch) -> None:
-        requests = [request for request, _, _ in batch]
+        requests = [item[0] for item in batch]
+        self._batch_seq += 1
+        batch_seq = self._batch_seq
         t0 = perf_counter()
+        # Queue time: enqueue -> batch start, per leader request (a
+        # coalesced follower never enqueued, so it has no queue wait).
+        for _, _, _, _, t_enqueue in batch:
+            self.stats.record_queue(max(0.0, t0 - t_enqueue))
         try:
             outcomes = await loop.run_in_executor(
                 None, solve_batch, requests, self.config.jobs, self._pool
@@ -599,7 +694,7 @@ class SolveServer:
         fallback = any(outcome.get("fallback") for outcome in outcomes)
         self.stats.record_batch(len(batch), seconds, fallback)
         self.stats.cells_solved += len(batch)
-        for (request, fingerprint, future), outcome in zip(batch, outcomes):
+        for (request, fingerprint, future, _, _), outcome in zip(batch, outcomes):
             if fingerprint is not None:
                 self._inflight.pop(fingerprint, None)
                 if "ok" in outcome:
@@ -607,7 +702,19 @@ class SolveServer:
             if "ok" in outcome:
                 self._merge_solver_counters(outcome["ok"].get("counters", {}))
             if not future.done():
-                future.set_result((outcome, len(batch)))
+                future.set_result((outcome, len(batch), batch_seq))
+        # The batch-side half of the trace correlation: one note
+        # listing every trace this batch solved.
+        OBS.note(
+            "serve.batch",
+            {
+                "seq": batch_seq,
+                "traces": [item[3] for item in batch],
+                "cells": len(batch),
+                "seconds": seconds,
+                "fallback": fallback,
+            },
+        )
 
     def _merge_solver_counters(self, counters: Mapping) -> None:
         merged = self._merged_solver_counters
@@ -635,20 +742,26 @@ class SolveServer:
         }
 
     def _note(self, request_id: str | None, fingerprint: str, *,
-              cached: bool, batch: int, elapsed: float) -> None:
+              trace: int, cached: bool, batch: int, elapsed: float,
+              batch_seq: int | None = None, coalesced: bool = False) -> None:
         # Per-request tracing for --events-out: a point event per
         # completed solve.  Notes never touch counters, so they are
         # safe to emit from the loop while a batch solves inline.
-        OBS.note(
-            "serve.request",
-            {
-                "id": request_id,
-                "fingerprint": fingerprint,
-                "cached": cached,
-                "batch": batch,
-                "elapsed": elapsed,
-            },
-        )
+        # ``trace``/``batch_seq`` join this note to the matching
+        # ``serve.batch`` note (which lists the traces it solved).
+        data = {
+            "id": request_id,
+            "trace": trace,
+            "fingerprint": fingerprint,
+            "cached": cached,
+            "batch": batch,
+            "elapsed": elapsed,
+        }
+        if batch_seq is not None:
+            data["batch_seq"] = batch_seq
+        if coalesced:
+            data["coalesced"] = True
+        OBS.note("serve.request", data)
 
 
 # -- entry points -----------------------------------------------------

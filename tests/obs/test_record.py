@@ -155,6 +155,62 @@ class TestValidation:
             assert validate_run_record(broken), f"{field} should be required"
 
 
+class TestHistogramSection:
+    """The optional ``histograms`` section added with the live
+    telemetry tier: present only when non-empty, validated like the
+    counters (finite numbers only)."""
+
+    @staticmethod
+    def _registry_with_histogram() -> Registry:
+        reg = Registry(enabled=True)
+        reg.incr("ops")
+        reg.observe("latency", 0.01)
+        reg.observe("latency", 0.04)
+        return reg
+
+    def test_from_registry_carries_histograms(self):
+        rec = RunRecord.from_registry(
+            self._registry_with_histogram(), algorithm="x"
+        )
+        obj = rec.to_json_obj()
+        assert obj["histograms"]["latency"]["count"] == 2
+        assert validate_run_record(obj) == []
+
+    def test_histogram_free_record_has_no_section(self):
+        # Pre-histogram record shape is preserved bit-for-bit.
+        reg = Registry(enabled=True)
+        reg.incr("ops")
+        obj = RunRecord.from_registry(reg, algorithm="x").to_json_obj()
+        assert "histograms" not in obj
+
+    def test_json_round_trip_with_histograms(self, tmp_path):
+        rec = RunRecord.from_registry(
+            self._registry_with_histogram(), algorithm="x"
+        )
+        path = tmp_path / "rec.json"
+        rec.write(path)
+        assert RunRecord.load(path) == rec
+
+    def test_nan_and_inf_bucket_bounds_rejected(self):
+        rec = RunRecord.from_registry(
+            self._registry_with_histogram(), algorithm="x"
+        )
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            obj = rec.to_json_obj()
+            obj["histograms"]["latency"]["buckets"][0][0] = bad
+            assert any(
+                "finite" in e for e in validate_run_record(obj)
+            ), bad
+
+    def test_malformed_histogram_entry_rejected(self):
+        rec = RunRecord.from_registry(
+            self._registry_with_histogram(), algorithm="x"
+        )
+        obj = rec.to_json_obj()
+        obj["histograms"]["latency"] = ["not", "a", "histogram"]
+        assert any("latency" in e for e in validate_run_record(obj))
+
+
 class TestCSV:
     def test_union_of_columns(self):
         a = make_record()

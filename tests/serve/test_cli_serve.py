@@ -101,3 +101,67 @@ class TestServeCli:
     def test_bad_config_rejected(self, capsys):
         assert main(["serve", "--batch-window", "-1"]) == 2
         assert "batch_window" in capsys.readouterr().err
+
+    def test_bad_metrics_interval_rejected(self, capsys):
+        assert main(["serve", "--metrics-interval", "0"]) == 2
+        assert "metrics-interval" in capsys.readouterr().err
+
+
+class TestServeTelemetryCli:
+    def test_exporter_and_snapshots_end_to_end(self, tmp_path, capsys):
+        """The acceptance path: scrape a live exposition mid-run, then
+        check the drained stream's final counters are bit-identical to
+        the --stats-out run record."""
+        import re
+        import urllib.request
+
+        from repro.obs.expose import read_snapshots, validate_exposition
+
+        path = str(tmp_path / "s.sock")
+        snaps_path = tmp_path / "metrics.jsonl"
+        record_path = tmp_path / "record.json"
+        thread = threading.Thread(
+            target=main,
+            args=([
+                "serve", "--socket", path,
+                "--metrics-port", "0",
+                "--metrics-out", str(snaps_path),
+                "--metrics-interval", "0.05",
+                "--stats-out", str(record_path),
+            ],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 15
+        while not os.path.exists(path):
+            assert time.monotonic() < deadline, "daemon did not bind"
+            time.sleep(0.02)
+        url = None
+        buffer = ""
+        while url is None:
+            assert time.monotonic() < deadline, "exporter URL never printed"
+            buffer += capsys.readouterr().out
+            match = re.search(r"http://[\d.]+:\d+/metrics", buffer)
+            if match:
+                url = match.group(0)
+            else:
+                time.sleep(0.02)
+
+        assert main(["serve-client", "--connect", path, "--n", "20"]) == 0
+        assert main(["serve-client", "--connect", path, "--n", "20"]) == 0
+        with urllib.request.urlopen(url, timeout=10) as response:
+            body = response.read().decode("utf-8")
+        assert validate_exposition(body) == []
+        assert "serve_requests_total" in body
+        assert "serve_latency_wall_bucket" in body
+
+        assert main(["serve-client", "--connect", path, "--shutdown"]) == 0
+        thread.join(15)
+        assert not thread.is_alive()
+        record = json.loads(record_path.read_text())
+        snaps = read_snapshots(snaps_path)
+        # the final (post-drain) snapshot and the run record describe
+        # the same lifetime: counters and histograms bit-identical.
+        assert snaps[-1]["counters"] == record["counters"]
+        assert snaps[-1]["histograms"] == record["histograms"]
+        assert record["counters"]["serve.requests"] >= 2

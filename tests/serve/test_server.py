@@ -255,6 +255,138 @@ class TestControlAndStats:
         assert timers["serve.request"].count == 2
 
 
+class TestLiveTelemetry:
+    """The live metrics fold: stats must answer with histogram
+    percentiles *while* requests are in flight — no drain required —
+    and the exporter-facing registry must carry the same numbers."""
+
+    def test_stats_mid_flight_reports_histograms(self):
+        # A long batch window holds the second request in the batcher;
+        # a second connection queries stats while it is queued.
+        with ServerThread(ServeConfig(batch_window=0.5)) as thread:
+            with ServeClient(thread.address, timeout=30) as warm:
+                warm.solve(n=20, seed=1)  # one completed sample
+
+            done = threading.Event()
+            inflight_response = {}
+
+            def hold():
+                with ServeClient(thread.address, timeout=30) as c:
+                    inflight_response["r"] = c.solve(n=24, seed=9)
+                done.set()
+
+            holder = threading.Thread(target=hold)
+            holder.start()
+            try:
+                with ServeClient(thread.address, timeout=30) as probe:
+                    seen_inflight = False
+                    for _ in range(200):
+                        stats = probe.stats()["stats"]
+                        if stats["inflight"] >= 1 and not done.is_set():
+                            seen_inflight = True
+                            break
+                    assert seen_inflight, "never observed the held request"
+                    # mid-flight, the completed sample is already folded
+                    wall = stats["histograms"]["serve.latency.wall"]
+                    assert wall["count"] >= 1
+                    assert wall["p50"] <= wall["p99"] <= wall["max"]
+                    assert "serve.latency.queue" in stats["histograms"]
+                    assert "serve.latency.solve" in stats["histograms"]
+            finally:
+                holder.join(30)
+            assert inflight_response["r"]["status"] == "ok"
+
+    def test_metrics_registry_matches_drain_record(self, server, client):
+        client.solve(n=20, seed=1)
+        client.solve(n=20, seed=1)
+        live = server.server.metrics_registry()
+        assert live.counters()["serve.requests"] == 2
+        assert live.counters()["serve.cache.hits"] == 1
+        assert live.histogram("serve.latency.wall").count == 2
+        # drain-time emission folds the identical state
+        with OBS.capture() as reg:
+            server.server.emit_obs()
+        assert reg.counters() == live.counters()
+        assert (
+            reg.histogram("serve.latency.wall").state()
+            == live.histogram("serve.latency.wall").state()
+        )
+
+    def test_queue_wait_histogram_fills_under_batching(self):
+        with ServerThread(ServeConfig(batch_window=0.1)) as thread:
+            with ServeClient(thread.address, timeout=30) as c:
+                c.solve(n=20, seed=1)
+                c.solve(n=20, seed=2)
+            queue = thread.server.stats.queue_wait
+            solve = thread.server.stats.solve
+        assert queue.count == 2  # one sample per enqueued request
+        assert solve.count == 2
+        # queued at least as long as the batch window makes them wait
+        assert queue.max >= 0.0
+
+
+class TestTraceCorrelation:
+    def test_traces_unique_and_increasing(self, client):
+        responses = [
+            client.solve(n=20, seed=1),
+            client.solve(n=20, seed=1),  # cache hit still gets a trace
+            client.solve(n=20, seed=2),
+        ]
+        traces = [r["trace"] for r in responses]
+        assert all(isinstance(t, int) and t >= 1 for t in traces)
+        assert traces == sorted(traces)
+        assert len(set(traces)) == 3
+        assert validate_response(responses[0]) == []
+
+    def test_error_response_carries_trace(self, client):
+        response = client.solve(edges=[[0, 1], [2, 3]])
+        assert response["status"] == "error"
+        assert isinstance(response["trace"], int)
+        assert validate_response(response) == []
+
+    def test_batch_note_lists_member_traces(self, server):
+        notes = []
+
+        class Recorder:
+            def begin(self, name):
+                return None
+
+            def end(self, name, token, seconds):
+                pass
+
+            def note(self, name, data):
+                notes.append((name, data))
+
+        recorder = Recorder()
+        OBS.enable()
+        OBS.add_hook(recorder)
+        try:
+            with ServeClient(server.address, timeout=30) as c:
+                first = c.solve(n=20, seed=1)
+                second = c.solve(n=20, seed=1)
+        finally:
+            OBS.remove_hook(recorder)
+            OBS.disable()
+        batches = [d for n, d in notes if n == "serve.batch"]
+        requests = [d for n, d in notes if n == "serve.request"]
+        assert len(batches) == 1
+        assert batches[0]["traces"] == [first["trace"]]
+        assert batches[0]["cells"] == 1
+        # request notes correlate back: the solved one names its batch,
+        # the cache hit names none.
+        by_trace = {d["trace"]: d for d in requests}
+        assert by_trace[first["trace"]]["batch_seq"] == batches[0]["seq"]
+        assert by_trace[second["trace"]]["cached"] is True
+
+    def test_trace_rejected_when_malformed(self, client):
+        response = client.solve(n=20, seed=1)
+        assert validate_response(response) == []
+        response["trace"] = 0
+        assert any("trace" in v for v in validate_response(response))
+        response["trace"] = True
+        assert any("trace" in v for v in validate_response(response))
+
+
 class TestUnixSocket:
     def test_round_trip_over_unix_socket(self, tmp_path):
         path = str(tmp_path / "serve.sock")
