@@ -3,9 +3,10 @@
 A plain script (not a pytest bench): it rebuilds the shared benchmark
 fixtures (20/60/150-node connected UDGs, same parameters as
 ``conftest.py``, plus the 1000 through 1000000-node scaling tiers),
-times the UDG builders, the phase-1 MIS and all three solvers — with
-the CSR, bitset and array kernels pinned separately for the kernelized
-ones — captures one instrumented run's counters per case, and writes
+times the UDG builders, the phase-1 MIS and the solvers — the paper
+pair, the Steiner baseline and the fault-tolerant ``mfold`` variants,
+with the CSR, bitset and array kernels pinned separately for the
+kernelized ones — captures one instrumented run's counters per case, and writes
 everything as JSON — the files (``BENCH_baseline.json`` from PR 1,
 ``BENCH_pr2.json`` after the indexed-kernel/lazy-greedy PR,
 ``BENCH_pr3.json`` after the bitset kernel, ``BENCH_pr7.json`` after
@@ -39,12 +40,19 @@ import time
 from pathlib import Path
 
 from repro import __version__
-from repro.cds import greedy_connector_cds, steiner_cds, waf_cds
+from repro.cds import (
+    greedy_connector_cds,
+    mfold_2conn_cds,
+    mfold_greedy_cds,
+    steiner_cds,
+    waf_cds,
+)
 from repro.experiments.parallel import parallel_map
 from repro.graphs import random_connected_udg
 from repro.graphs.backend import build_kernel
 from repro.graphs.udg import (
     GRID_VECTOR_N,
+    Point,
     unit_disk_graph,
     unit_disk_graph_naive,
     unit_disk_graph_vectorized,
@@ -82,6 +90,16 @@ DEFAULT_FIXTURES = ("udg20", "udg60", "udg150")
 #: Node count from which the O(n^2) naive UDG builder is skipped.
 NAIVE_BUILD_MAX_N = 2000
 
+#: Shrink factor applied to a fixture's deployment for the
+#: ``mfold_2conn`` case.  The shared fixtures sit near the random-
+#: geometric connectivity threshold and are never 2-connected, so the
+#: (2,m) solver — correctly — refuses them.  Scaling the same points
+#: toward the origin only adds edges (the UDG radius is fixed at 1),
+#: and at 0.6 every fixture tier's deployment is 2-connected, keeping
+#: the case deterministic while benchmarking the augmentation phase on
+#: an input it accepts.
+MFOLD_2CONN_SCALE = 0.6
+
 #: Benchmarked case names, in output order per fixture.  ``waf`` and
 #: ``greedy`` run the solvers' defaults (``kernel="auto"``) as every
 #: earlier baseline did; the ``*_indexed`` / ``*_bitset`` /
@@ -103,6 +121,8 @@ CASE_NAMES = (
     "greedy_indexed",
     "greedy_bitset",
     "greedy_array",
+    "mfold_greedy",
+    "mfold_2conn",
     "steiner",
     "sim_mis",
     "sim_mis_reference",
@@ -129,6 +149,13 @@ CASE_MAX_N: dict[str, int] = {
     "waf_array": 100_000,
     "greedy_indexed": 10_000,
     "greedy_bitset": 100_000,
+    # Fault-tolerant variants (PR 10): the deficit-driven coverage
+    # greedy is interpreted like the lazy greedy tracker, and the
+    # 2-connectivity augmentation runs cut-vertex sweeps over the
+    # backbone — both stop at the same tier the interpreted greedy
+    # cases do.
+    "mfold_greedy": 10_000,
+    "mfold_2conn": 10_000,
     "steiner": 10_000,
     # Protocol-simulation cases (PR 8): the batched round engine runs
     # the MIS protocol routinely at 10^5 (the slow lane); the
@@ -170,6 +197,18 @@ def _cases(points, graph):
             memo["g"] = int_labeled(graph)
         return memo["g"]
 
+    def graph_2conn():
+        # Densified copy for the (2,m) case (see MFOLD_2CONN_SCALE),
+        # built once per fixture and only when the case runs.
+        if "g2" not in memo:
+            memo["g2"] = unit_disk_graph(
+                [
+                    Point(p.x * MFOLD_2CONN_SCALE, p.y * MFOLD_2CONN_SCALE)
+                    for p in points
+                ]
+            )
+        return memo["g2"]
+
     def sim_waf_dist():
         from repro.distributed import distributed_waf_cds
 
@@ -209,6 +248,8 @@ def _cases(points, graph):
         "greedy_indexed": lambda: greedy_connector_cds(graph, kernel="indexed"),
         "greedy_bitset": lambda: greedy_connector_cds(graph, kernel="bitset"),
         "greedy_array": lambda: greedy_connector_cds(graph, kernel="array"),
+        "mfold_greedy": lambda: mfold_greedy_cds(graph, m=2),
+        "mfold_2conn": lambda: mfold_2conn_cds(graph_2conn(), m=2),
         "steiner": lambda: steiner_cds(graph),
         "sim_mis": lambda: _sim_mis(graph_int(), "batched"),
         "sim_mis_reference": lambda: _sim_mis(graph_int(), "reference"),

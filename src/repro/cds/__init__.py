@@ -14,7 +14,20 @@ from .bitset_gain import BitsetGainTracker
 from .waf import waf_cds, waf_connectors
 from .greedy_connector import greedy_connector_cds, greedy_connectors
 from .steiner import steiner_cds, steiner_connectors
-from .exact import connected_domination_number, gamma_c_lower_bound, minimum_cds
+from .exact import (
+    connected_domination_number,
+    gamma_c_lower_bound,
+    gamma_mfold_lower_bound,
+    mfold_connected_domination_number,
+    minimum_cds,
+    minimum_mfold_cds,
+)
+from .mfold import (
+    augment_biconnected,
+    mfold_2conn_cds,
+    mfold_dominators,
+    mfold_greedy_cds,
+)
 from .prune import prune_cds, prune_result
 from .maintenance import DynamicCDS, RepairStats
 from .weighted import cds_weight, weighted_greedy_cds
@@ -45,7 +58,14 @@ __all__ = [
     "steiner_connectors",
     "connected_domination_number",
     "gamma_c_lower_bound",
+    "gamma_mfold_lower_bound",
+    "mfold_connected_domination_number",
     "minimum_cds",
+    "minimum_mfold_cds",
+    "augment_biconnected",
+    "mfold_2conn_cds",
+    "mfold_dominators",
+    "mfold_greedy_cds",
     "prune_cds",
     "prune_result",
     "DynamicCDS",

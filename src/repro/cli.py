@@ -105,13 +105,21 @@ def _positive_int(text: str) -> int:
 
 def _solver_registry():
     from .baselines import ALL_BASELINES
-    from .cds import greedy_connector_cds, steiner_cds, waf_cds
+    from .cds import (
+        greedy_connector_cds,
+        mfold_2conn_cds,
+        mfold_greedy_cds,
+        steiner_cds,
+        waf_cds,
+    )
     from .distributed.solvers import DISTRIBUTED_SOLVERS
 
     solvers = {
         "waf": waf_cds,
         "greedy": greedy_connector_cds,
         "steiner": steiner_cds,
+        "mfold-greedy": mfold_greedy_cds,
+        "mfold-2conn": mfold_2conn_cds,
     }
     solvers.update(ALL_BASELINES)
     solvers.update(DISTRIBUTED_SOLVERS)
@@ -875,6 +883,14 @@ def _sweep_main(argv: Sequence[str]) -> int:
         "identical under every kernel)",
     )
     parser.add_argument(
+        "--m",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="coverage multiplicity for the fault-tolerant solvers "
+        "(mfold-greedy, mfold-2conn)",
+    )
+    parser.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
@@ -912,6 +928,7 @@ def _sweep_main(argv: Sequence[str]) -> int:
                 algorithm=args.algorithm,
                 jobs=args.jobs,
                 kernel=kernel,
+                m=args.m,
                 policy=_retry_policy(args),
                 faults=plan,
                 checkpoint=args.checkpoint,
@@ -1135,6 +1152,18 @@ def _solve_main(argv: Sequence[str]) -> int:
             "every kernel"
         ),
     )
+    parser.add_argument(
+        "--m",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "coverage multiplicity for the fault-tolerant solvers "
+            "(mfold-greedy, mfold-2conn): every node outside the "
+            "backbone gets N distinct dominators (default: the "
+            "solver's own default, 2)"
+        ),
+    )
     parser.add_argument("--out", metavar="FILE", help="write the result as JSON")
     parser.add_argument(
         "--viz", action="store_true", help="print a terminal map of the backbone"
@@ -1176,8 +1205,9 @@ def _solve_main(argv: Sequence[str]) -> int:
         points = kept
 
     solver = solvers[args.algorithm]
+    solver_params = inspect.signature(solver).parameters
     solver_kwargs = {}
-    if "kernel" in inspect.signature(solver).parameters:
+    if "kernel" in solver_params:
         solver_kwargs["kernel"] = args.kernel
     elif args.kernel != "auto":
         print(
@@ -1186,8 +1216,24 @@ def _solve_main(argv: Sequence[str]) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.m is not None:
+        if "m" not in solver_params:
+            print(
+                f"--m is not supported by algorithm {args.algorithm!r} "
+                "(only the fault-tolerant solvers: mfold-greedy, "
+                "mfold-2conn)",
+                file=sys.stderr,
+            )
+            return 2
+        solver_kwargs["m"] = args.m
     with session.profiled(), OBS.time("solve.total"):
-        result = solver(graph, **solver_kwargs)
+        try:
+            result = solver(graph, **solver_kwargs)
+        except ValueError as exc:
+            # e.g. mfold-2conn on a deployment that is not 2-connected:
+            # no (2,m)-CDS exists, which is an input property, not a bug.
+            print(f"{args.algorithm}: {exc}", file=sys.stderr)
+            return 2
     if not result.is_valid(graph):
         print(f"{args.algorithm} produced an invalid CDS (bug)", file=sys.stderr)
         return 1

@@ -1,0 +1,146 @@
+"""Experiment FT — fault-tolerant variants vs exact optima.
+
+The ``(1, m)``- and ``(2, m)``-CDS solvers of :mod:`repro.cds.mfold`
+have no paper theorem of their own here, so the validation is
+*empirical-exact*: on small instances we compute the true minimum
+``(1, m)``-CDS by branch-and-bound (:func:`repro.cds.exact.
+minimum_mfold_cds`) and pin the greedy's realized ratio against it, per
+density and per ``m``.
+
+Two tables:
+
+* **ratio grid** — for each ``(n, density, m)`` cell: greedy
+  ``(1, m)``-CDS size vs the exact optimum, mean/max realized ratio,
+  and whether the pinned per-density ceiling (:data:`RATIO_CEILINGS`)
+  held.  (Zhang et al., arXiv:1510.05886, prove ratios in the 6–8
+  range for UDG-like graphs; the realized values sit far below — the
+  ceilings here are regression tripwires, not theorems.  Dense small
+  instances get a looser ceiling: their optimum is often a single
+  near-universal node, so one extra greedy pick moves the quotient a
+  lot.)
+* **survivability** — on the 2-connected instances of each size,
+  :func:`repro.cds.mfold.mfold_2conn_cds` with ``m=2`` must pass
+  :func:`repro.graphs.properties.survives_node_removal`: deleting any
+  single backbone node leaves a connected dominating set.  The table
+  also reports the augmentation cost (cut vertices repaired, ear nodes
+  added) the hardening paid.
+
+Pass criterion: every ratio cell under the ceiling, every 2-connected
+instance survivable, zero validator failures.
+"""
+
+from __future__ import annotations
+
+from ..analysis.statistics import summarize
+from ..cds.exact import minimum_mfold_cds
+from ..cds.mfold import mfold_2conn_cds, mfold_greedy_cds
+from ..graphs.biconnectivity import is_k_connected
+from ..graphs.properties import is_m_fold_cds, survives_node_removal
+from .harness import ExperimentResult, Table, experiment
+from .instances import connected_udg_instances, default_side
+
+__all__ = ["run", "RATIO_CEILINGS"]
+
+#: Pinned empirical ceilings for greedy-size / exact-optimum per
+#: density.  Observed maxima: 4.0 on the dense grid (optimum 1 vs
+#: greedy 4 on a near-star instance), 2.5 on the default grid; both
+#: far under the 6 7/18-style theorem bounds.  A breach means the
+#: greedy (or the exact solver) regressed.
+RATIO_CEILINGS = {"dense": 4.5, "default": 3.0}
+
+#: Density settings: multipliers on the default (mean degree ~5.5) side.
+#: Smaller side = denser deployment.
+DENSITIES = (("dense", 0.8), ("default", 1.0))
+
+
+@experiment("FT", "Fault-tolerant (1,m)/(2,m)-CDS vs exact optima")
+def run(
+    sizes: tuple[int, ...] = (10, 14, 18),
+    seeds: int = 6,
+    ms: tuple[int, ...] = (1, 2),
+) -> ExperimentResult:
+    ratio_table = Table(
+        title="mfold-greedy vs exact minimum (1,m)-CDS",
+        headers=[
+            "n", "density", "m", "instances",
+            "greedy mean", "opt mean", "ratio mean", "ratio max", "ok",
+        ],
+    )
+    all_ok = True
+    for n in sizes:
+        for label, factor in DENSITIES:
+            side = default_side(n) * factor
+            for m in ms:
+                ratios: list[float] = []
+                greedy_sizes: list[float] = []
+                opt_sizes: list[float] = []
+                cell_ok = True
+                for _, graph in connected_udg_instances(n, side, range(seeds)):
+                    result = mfold_greedy_cds(graph, m=m).validate(graph)
+                    if not is_m_fold_cds(graph, result.nodes, m):
+                        cell_ok = False
+                        continue
+                    optimum = minimum_mfold_cds(
+                        graph, m, upper_bound=result.size
+                    )
+                    greedy_sizes.append(result.size)
+                    opt_sizes.append(len(optimum))
+                    ratios.append(result.size / len(optimum))
+                cell_ok = (
+                    cell_ok
+                    and bool(ratios)
+                    and max(ratios) <= RATIO_CEILINGS[label]
+                )
+                all_ok = all_ok and cell_ok
+                ratio_table.add_row(
+                    n, label, m, len(ratios),
+                    f"{summarize(greedy_sizes).mean:.2f}",
+                    f"{summarize(opt_sizes).mean:.2f}",
+                    f"{summarize(ratios).mean:.3f}",
+                    f"{summarize(ratios).maximum:.3f}",
+                    cell_ok,
+                )
+
+    surv_table = Table(
+        title="(2,2)-CDS survivability and augmentation cost",
+        headers=[
+            "n", "2-conn instances", "backbone mean",
+            "cuts repaired", "ear nodes", "survived all",
+        ],
+    )
+    for n in sizes:
+        side = default_side(n) * 0.8  # denser: 2-connectivity is likelier
+        sizes_seen: list[float] = []
+        repaired = ears = 0
+        survived = True
+        count = 0
+        for _, graph in connected_udg_instances(n, side, range(2 * seeds)):
+            if not is_k_connected(graph, 2):
+                continue
+            count += 1
+            result = mfold_2conn_cds(graph, m=2).validate(graph)
+            sizes_seen.append(result.size)
+            repaired += result.meta["cut_vertices_repaired"]
+            ears += result.meta["augmentation_cost"]
+            survived = survived and survives_node_removal(
+                graph, result.nodes, m=1
+            )
+        all_ok = all_ok and survived and count > 0
+        surv_table.add_row(
+            n, count,
+            f"{summarize(sizes_seen).mean:.2f}" if sizes_seen else "-",
+            repaired, ears, survived,
+        )
+
+    return ExperimentResult(
+        experiment_id="FT",
+        title="Fault-tolerant variants vs exact optima",
+        tables=[ratio_table, surv_table],
+        passed=all_ok,
+        notes=(
+            "Ratios are against the exact minimum (1,m)-CDS from the "
+            "branch-and-bound solver; the survivability column checks the "
+            "operational claim directly — every single-node deletion from "
+            "the (2,2) backbone leaves a connected dominating set."
+        ),
+    )

@@ -239,4 +239,5 @@ def _load_all_modules() -> None:
         exp_star_packing,
         exp_stats,
         exp_tightness,
+        exp_variants,
     )

@@ -172,7 +172,10 @@ def parallel_map(
 
 
 def solve_cell(
-    cell: SweepCell, algorithm: str = "greedy", kernel: str | None = None
+    cell: SweepCell,
+    algorithm: str = "greedy",
+    kernel: str | None = None,
+    m: int | None = None,
 ) -> dict:
     """Worker: build the cell's connected UDG, solve it, count everything.
 
@@ -190,11 +193,13 @@ def solve_cell(
     ``"bitset"`` / ``"array"``; results are identical under every
     kernel) and is
     echoed in the summary; ``None`` leaves the solver's default and
-    the summary shape exactly as before.
+    the summary shape exactly as before.  ``m`` likewise pins the
+    coverage multiplicity of the fault-tolerant solvers
+    (``mfold-greedy`` / ``mfold-2conn``).
 
     Raises:
-        ValueError: when ``kernel`` is given but ``algorithm`` does not
-            accept one (only waf/greedy are kernelized).
+        ValueError: when ``kernel`` (or ``m``) is given but
+            ``algorithm`` does not accept it.
     """
     import inspect
 
@@ -203,14 +208,23 @@ def solve_cell(
     from ..obs import OBS
 
     solver = _solver_registry()[algorithm]
+    params = inspect.signature(solver).parameters
     kwargs = {}
     if kernel is not None:
-        if "kernel" not in inspect.signature(solver).parameters:
+        if "kernel" not in params:
             raise ValueError(
                 f"algorithm {algorithm!r} does not take a kernel "
                 "(only the kernelized solvers: waf, greedy)"
             )
         kwargs["kernel"] = kernel
+    if m is not None:
+        if "m" not in params:
+            raise ValueError(
+                f"algorithm {algorithm!r} does not take a coverage "
+                "multiplicity m (only the fault-tolerant solvers: "
+                "mfold-greedy, mfold-2conn)"
+            )
+        kwargs["m"] = m
     _, graph = random_connected_udg(cell.n, cell.side, seed=cell.seed)
     with OBS.capture() as reg:
         result = solver(graph, **kwargs)
@@ -227,6 +241,8 @@ def solve_cell(
     }
     if kernel is not None:
         summary["kernel"] = kernel
+    if m is not None:
+        summary["m"] = m
     return summary
 
 
@@ -258,6 +274,7 @@ def solve_cells_resilient(
     jobs: int = 1,
     *,
     kernel: str | None = None,
+    m: int | None = None,
     policy=None,
     faults=None,
     checkpoint: str | None = None,
@@ -278,7 +295,7 @@ def solve_cells_resilient(
     from ..reliability import run_cells
 
     return run_cells(
-        partial(solve_cell, algorithm=algorithm, kernel=kernel),
+        partial(solve_cell, algorithm=algorithm, kernel=kernel, m=m),
         cells,
         jobs=jobs,
         policy=policy,

@@ -22,6 +22,10 @@ __all__ = [
     "is_maximal_independent_set",
     "has_two_hop_separation",
     "is_connected_dominating_set",
+    "is_m_dominating_set",
+    "is_m_fold_cds",
+    "m_deficient_nodes",
+    "survives_node_removal",
     "undominated_nodes",
 ]
 
@@ -93,6 +97,90 @@ def has_two_hop_separation(graph: Graph[N], independent: Iterable[N]) -> bool:
             if two_hop:
                 break
         if not two_hop:
+            return False
+    return True
+
+
+def m_deficient_nodes(
+    graph: Graph[N], candidate: Iterable[N], m: int
+) -> list[N]:
+    """Nodes outside ``candidate`` with fewer than ``m`` neighbors in it.
+
+    The m-fold analogue of :func:`undominated_nodes`: the nodes whose
+    coverage demand an m-fold dominating set has not yet met.  Members
+    of ``candidate`` have no demand (the Zhang et al. convention — see
+    :func:`is_m_dominating_set`).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1 (got {m})")
+    chosen = set(candidate)
+    missing: list[N] = []
+    for v in graph:
+        if v in chosen:
+            continue
+        covered = sum(1 for u in graph.neighbors(v) if u in chosen)
+        if covered < m:
+            missing.append(v)
+    return missing
+
+
+def is_m_dominating_set(
+    graph: Graph[N], candidate: Iterable[N], m: int
+) -> bool:
+    """Every node outside ``candidate`` has at least ``m`` neighbors in it.
+
+    The m-fold dominating set of Zhang et al. (arXiv:1510.05886):
+    members cover themselves by membership, non-members need ``m``
+    distinct dominators.  ``m=1`` coincides with
+    :func:`is_dominating_set` (pinned by tests).
+
+    Raises:
+        ValueError: for ``m < 1``.
+    """
+    chosen = set(candidate)
+    if not chosen <= set(graph.nodes()):
+        return False
+    return not m_deficient_nodes(graph, chosen, m)
+
+
+def is_m_fold_cds(graph: Graph[N], candidate: Iterable[N], m: int) -> bool:
+    """A ``(1, m)``-CDS: m-fold dominating and inducing a connected
+    subgraph (the single-node convention of
+    :func:`is_connected_dominating_set` carries over).
+    """
+    chosen = set(candidate)
+    if not chosen:
+        return False
+    if not is_m_dominating_set(graph, chosen, m):
+        return False
+    if len(chosen) == 1:
+        return True
+    return induced_is_connected(graph, chosen)
+
+
+def survives_node_removal(
+    graph: Graph[N], candidate: Iterable[N], m: int = 1
+) -> bool:
+    """Whether the backbone outlives any single member's death.
+
+    True iff for **every** ``v`` in ``candidate``, the survivor set
+    ``candidate - {v}`` is still a connected m-fold dominating set of
+    the *full* graph — the dead node itself included among the nodes
+    that must stay dominated.  This is the operational meaning of a
+    ``(2, m+1)``-CDS and the acceptance property of
+    :func:`repro.cds.mfold.mfold_2conn_cds`: kill any one backbone
+    node and broadcast still reaches everyone.
+
+    A singleton backbone never survives (its only member's death leaves
+    nothing), except in the degenerate single-node graph, where there
+    is no surviving network to serve either — we return ``False`` there
+    too, matching the "non-empty CDS" convention.
+    """
+    chosen = set(candidate)
+    if not chosen:
+        return False
+    for v in chosen:
+        if not is_m_fold_cds(graph, chosen - {v}, m):
             return False
     return True
 

@@ -1,0 +1,155 @@
+"""Unit tests for the fault-tolerant (1,m)/(2,m)-CDS solvers."""
+
+import pytest
+
+from repro.cds import (
+    augment_biconnected,
+    greedy_connector_cds,
+    mfold_2conn_cds,
+    mfold_greedy_cds,
+)
+from repro.graphs import (
+    Graph,
+    is_k_connected,
+    is_m_fold_cds,
+    random_connected_udg,
+    survives_node_removal,
+)
+from repro.graphs.biconnectivity import is_biconnected
+from repro.obs import OBS
+
+
+def two_connected_udgs(count, n, side_factor=0.62):
+    out = []
+    seed = 0
+    while len(out) < count and seed < 40 * count:
+        _, g = random_connected_udg(
+            n, side=max(1.0, side_factor * n**0.5), seed=seed, max_attempts=500
+        )
+        if is_k_connected(g, 2):
+            out.append(g)
+        seed += 1
+    assert out, "no 2-connected instances sampled"
+    return out
+
+
+class TestMfoldGreedy:
+    def test_valid_m_fold_cds(self):
+        for seed in range(8):
+            _, g = random_connected_udg(25, 4.2, seed=seed)
+            for m in (1, 2, 3):
+                result = mfold_greedy_cds(g, m=m).validate(g)
+                assert is_m_fold_cds(g, result.nodes, m), (seed, m)
+
+    def test_m1_matches_paper_greedy_node_set(self):
+        for seed in range(6):
+            _, g = random_connected_udg(30, 4.6, seed=seed)
+            mfold = mfold_greedy_cds(g, m=1)
+            base = greedy_connector_cds(g)
+            assert set(mfold.nodes) == set(base.nodes), seed
+            assert mfold.meta["coverage_added"] == 0
+
+    def test_kernel_parity(self):
+        _, g = random_connected_udg(60, 6.2, seed=3)
+        for m in (2, 3):
+            results = {
+                k: mfold_greedy_cds(g, m=m, kernel=k)
+                for k in ("indexed", "bitset", "array")
+            }
+            nodes = {k: r.nodes for k, r in results.items()}
+            assert nodes["indexed"] == nodes["bitset"] == nodes["array"], m
+            orders = {k: (r.dominators, r.connectors) for k, r in results.items()}
+            assert len(set(orders.values())) == 1, m
+
+    def test_monotone_in_m(self):
+        # more coverage demand can only grow the dominating phase
+        _, g = random_connected_udg(40, 5.0, seed=7)
+        sizes = [mfold_greedy_cds(g, m=m).size for m in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+
+    def test_low_degree_nodes_selected(self):
+        # a path: at m=2 every node has deg <= 2, interior nodes have
+        # deficit however the set grows, so the result is almost all of V
+        g = Graph(edges=[(i, i + 1) for i in range(5)])
+        result = mfold_greedy_cds(g, m=2)
+        assert is_m_fold_cds(g, result.nodes, 2)
+
+    def test_single_node_graph(self):
+        g = Graph(nodes=["v"])
+        result = mfold_greedy_cds(g, m=3)
+        assert set(result.nodes) == {"v"}
+
+    def test_invalid_m_raises(self):
+        _, g = random_connected_udg(10, 2.5, seed=0)
+        with pytest.raises(ValueError):
+            mfold_greedy_cds(g, m=0)
+
+    def test_counters_emitted(self):
+        _, g = random_connected_udg(30, 4.6, seed=2)
+        with OBS.capture() as reg:
+            mfold_greedy_cds(g, m=2)
+            counters = reg.counters()
+        assert counters.get("mfold.coverage_added", 0) >= 0
+        assert counters["mfold.deficit_evaluations"] > 0
+
+
+class TestAugmentBiconnected:
+    def test_backbone_becomes_biconnected(self):
+        for g in two_connected_udgs(6, 24):
+            base = mfold_greedy_cds(g, m=2)
+            ears, repairs = augment_biconnected(g, base.nodes)
+            hardened = set(base.nodes) | set(ears)
+            assert is_biconnected(g.subgraph(hardened)), repairs
+            assert repairs >= 0 and len(ears) >= 0
+
+    def test_already_biconnected_backbone_untouched(self):
+        g = Graph(edges=[(i, (i + 1) % 6) for i in range(6)])
+        ears, repairs = augment_biconnected(g, range(6))
+        assert ears == [] and repairs == 0
+
+    def test_not_two_connected_graph_raises(self, path5):
+        with pytest.raises(ValueError):
+            augment_biconnected(path5, [1, 2, 3])
+
+    def test_ears_are_new_nodes(self):
+        for g in two_connected_udgs(4, 20):
+            base = mfold_greedy_cds(g, m=2)
+            ears, _ = augment_biconnected(g, base.nodes)
+            assert not set(ears) & set(base.nodes)
+            assert len(set(ears)) == len(ears)
+
+
+class TestMfold2Conn:
+    def test_survives_any_single_backbone_death(self):
+        for g in two_connected_udgs(8, 22):
+            result = mfold_2conn_cds(g, m=2).validate(g)
+            assert is_m_fold_cds(g, result.nodes, 2)
+            assert is_biconnected(g.subgraph(set(result.nodes)))
+            assert survives_node_removal(g, result.nodes, m=1)
+
+    def test_meta_records_augmentation(self):
+        g = two_connected_udgs(1, 24)[0]
+        result = mfold_2conn_cds(g, m=2)
+        assert result.meta["m"] == 2
+        assert result.meta["cut_vertices_repaired"] >= 0
+        assert result.meta["augmentation_cost"] == len(
+            set(result.nodes) - set(mfold_greedy_cds(g, m=2).nodes)
+        )
+
+    def test_kernel_parity(self):
+        g = two_connected_udgs(1, 30)[0]
+        nodes = {
+            k: mfold_2conn_cds(g, m=2, kernel=k).nodes
+            for k in ("indexed", "bitset", "array")
+        }
+        assert nodes["indexed"] == nodes["bitset"] == nodes["array"]
+
+    def test_rejects_graph_with_cut_vertex(self, two_triangles_bridge):
+        with pytest.raises(ValueError):
+            mfold_2conn_cds(two_triangles_bridge, m=2)
+
+    def test_small_graphs(self):
+        # K1 and K2 have no 3-node separation to worry about
+        assert set(mfold_2conn_cds(Graph(nodes=["v"]), m=2).nodes) == {"v"}
+        k2 = Graph(edges=[("a", "b")])
+        assert set(mfold_2conn_cds(k2, m=2).nodes) == {"a", "b"}

@@ -1,0 +1,158 @@
+"""Unit tests for cut vertices, blocks, and ``is_k_connected``."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    IndexedGraph,
+    blocks,
+    build_kernel,
+    cut_vertices,
+    is_biconnected,
+    is_connected,
+    is_k_connected,
+    random_connected_udg,
+)
+from repro.graphs.backend import adjacency_rows
+from repro.graphs.biconnectivity import articulation_ids
+
+
+def brute_force_cuts(g):
+    """Cut vertices by definition: removal increases component count."""
+
+    def components(graph, skip=None):
+        seen = set()
+        count = 0
+        for s in graph.nodes():
+            if s == skip or s in seen:
+                continue
+            count += 1
+            frontier = [s]
+            seen.add(s)
+            while frontier:
+                v = frontier.pop()
+                for u in graph.neighbors(v):
+                    if u != skip and u not in seen:
+                        seen.add(u)
+                        frontier.append(u)
+        return count
+
+    base = components(g)
+    return {v for v in g.nodes() if components(g, skip=v) > base}
+
+
+class TestCutVertices:
+    def test_path_internal_nodes_are_cuts(self, path5):
+        assert cut_vertices(path5) == {1, 2, 3}
+
+    def test_cycle_has_none(self, cycle6):
+        assert cut_vertices(cycle6) == set()
+
+    def test_star_center_is_cut(self, star_graph):
+        assert cut_vertices(star_graph) == {0}
+
+    def test_bridge_endpoints(self, two_triangles_bridge):
+        assert cut_vertices(two_triangles_bridge) == {2, 3}
+
+    def test_matches_brute_force_on_random_udgs(self):
+        for seed in range(30):
+            n = 6 + seed % 14
+            _, g = random_connected_udg(
+                n, side=max(1.0, 0.8 * n**0.5), seed=seed, max_attempts=500
+            )
+            assert cut_vertices(g) == brute_force_cuts(g), seed
+
+    def test_disconnected_graph_scanned_per_component(self):
+        g = Graph(edges=[(0, 1), (1, 2), (10, 11), (11, 12)])
+        assert cut_vertices(g) == {1, 11}
+
+    def test_identical_across_kernels(self):
+        _, g = random_connected_udg(80, 5.5, seed=5)
+        expected = cut_vertices(g)
+        for kernel in ("indexed", "bitset", "array"):
+            assert cut_vertices(build_kernel(g, kernel)) == expected, kernel
+
+
+class TestArticulationIds:
+    def test_rows_interface(self):
+        # path 0-1-2 as raw rows
+        assert articulation_ids([[1], [0, 2], [1]]) == [1]
+
+    def test_sorted_output(self):
+        _, g = random_connected_udg(25, 4.5, seed=9)
+        ids = articulation_ids(adjacency_rows(IndexedGraph.from_graph(g)))
+        assert ids == sorted(ids)
+
+
+class TestBlocks:
+    def test_path_blocks_are_edges(self, path5):
+        got = sorted(sorted(b) for b in blocks(path5))
+        assert got == [[0, 1], [1, 2], [2, 3], [3, 4]]
+
+    def test_cycle_is_one_block(self, cycle6):
+        assert [sorted(b) for b in blocks(cycle6)] == [list(range(6))]
+
+    def test_two_triangles_bridge(self, two_triangles_bridge):
+        got = sorted(sorted(b) for b in blocks(two_triangles_bridge))
+        assert got == [[0, 1, 2], [2, 3], [3, 4, 5]]
+
+    def test_isolated_node_singleton_block(self):
+        g = Graph(edges=[(0, 1)])
+        g.add_node(7)
+        assert sorted(sorted(b) for b in blocks(g)) == [[0, 1], [7]]
+
+    def test_blocks_cover_all_edges_and_nodes(self):
+        for seed in range(10):
+            _, g = random_connected_udg(20, 4.0, seed=seed)
+            bs = blocks(g)
+            nodes = set().union(*map(set, bs))
+            assert nodes == set(g.nodes())
+            for u, v in g.edges():
+                assert any(u in b and v in b for b in map(set, bs)), (u, v)
+
+
+class TestKConnected:
+    def test_k1_is_connectivity(self, path5, cycle6):
+        assert is_k_connected(path5, 1)
+        assert is_k_connected(cycle6, 1)
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert not is_k_connected(g, 1)
+
+    def test_k2_strict_convention(self, cycle6, complete4, path5):
+        assert is_k_connected(cycle6, 2)
+        assert is_k_connected(complete4, 2)
+        assert not is_k_connected(path5, 2)
+        # K2 is 1- but not 2-connected (|V| > k required)
+        k2 = Graph(edges=[(0, 1)])
+        assert is_k_connected(k2, 1)
+        assert not is_k_connected(k2, 2)
+
+    def test_k_out_of_range_raises(self, cycle6):
+        with pytest.raises(ValueError):
+            is_k_connected(cycle6, 3)
+        with pytest.raises(ValueError):
+            is_k_connected(cycle6, 0)
+
+    def test_empty_graph_is_never_k_connected(self):
+        assert not is_k_connected(Graph(), 1)
+
+    def test_matches_brute_force_definition(self):
+        for seed in range(20):
+            n = 5 + seed % 10
+            _, g = random_connected_udg(
+                n, side=max(1.0, 0.7 * n**0.5), seed=seed, max_attempts=500
+            )
+            expected = len(g) >= 3 and is_connected(g) and not brute_force_cuts(g)
+            assert is_k_connected(g, 2) == expected, seed
+
+
+class TestBiconnected:
+    def test_small_conventions(self, cycle6, path5):
+        assert is_biconnected(Graph(edges=[], nodes=[0]))
+        assert is_biconnected(Graph(edges=[(0, 1)]))
+        assert is_biconnected(cycle6)
+        assert not is_biconnected(path5)
+        assert not is_biconnected(Graph())
+
+    def test_disconnected_is_not_biconnected(self):
+        assert not is_biconnected(Graph(edges=[(0, 1), (2, 3)]))

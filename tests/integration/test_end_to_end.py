@@ -14,6 +14,7 @@ from repro.graphs import (
     corridor_points,
     is_connected,
     is_connected_dominating_set,
+    is_dominating_set,
     largest_component_udg,
     quasi_unit_disk_graph,
     random_connected_udg,
@@ -95,9 +96,5 @@ class TestPipelineComposition:
         # nodes, with far fewer transmitting nodes than blind flooding.
         _, g = random_connected_udg(80, 5.5, seed=13)
         backbone = greedy_connector_cds(g)
-        covered = set()
-        for v in backbone.nodes:
-            covered.add(v)
-            covered.update(g.neighbors(v))
-        assert covered == set(g.nodes())
+        assert is_dominating_set(g, backbone.nodes)
         assert backbone.size < len(g) / 2
